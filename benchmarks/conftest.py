@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harnesses.
+
+``REPRO_SCALE=bench`` switches every harness to the paper-scale workload
+parameters (slower); the default keeps CI-friendly sizes.  Ratios and
+qualitative outcomes are stable across scales.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "default")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,25 @@
+"""Benchmark harness for E10 — delay-slot utilization."""
+
+from conftest import once
+
+from repro.experiments import e10_delay_slots
+
+
+def test_e10_delay_slots(benchmark, scale, capsys):
+    table = once(benchmark, e10_delay_slots.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    fill_col = table.headers.index("fill rate %")
+    insts_col = table.headers.index("insts saved %")
+    cycles_col = table.headers.index("cycles saved %")
+
+    fill_rates = [row[fill_col] for row in table.rows]
+    # the optimizer fills a substantial fraction of slots overall
+    assert sum(fill_rates) / len(fill_rates) > 35.0
+    for row in table.rows:
+        # filling slots can only help (never executes extra work)
+        assert row[insts_col] >= 0.0, row[0]
+        assert row[cycles_col] >= 0.0, row[0]
+    # call-heavy code benefits most in executed instructions
+    assert table.cell("ackermann", "insts saved %") > 5.0

@@ -1,0 +1,31 @@
+"""Benchmark harness for E11 — the register-window ablation."""
+
+from conftest import once
+
+from repro.experiments import e11_window_ablation
+
+
+def test_e11_window_ablation(benchmark, scale, capsys):
+    table = once(benchmark, e11_window_ablation.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    density_col = table.headers.index("calls/1k insts")
+    s4 = table.headers.index("save 4 regs")
+    s8 = table.headers.index("save 8 regs")
+    s12 = table.headers.index("save 12 regs")
+
+    for row in table.rows:
+        # the projection must be monotone in the saved-register count
+        assert row[s4] <= row[s8] <= row[s12], row[0]
+
+    # windows pay off on call-dense programs...
+    call_heavy = [row for row in table.rows if row[density_col] > 20]
+    assert call_heavy, "need at least one call-dense benchmark"
+    for row in call_heavy:
+        if row[0] == "ackermann":
+            continue  # pathological recursion already thrashes the windows
+        assert row[s8] > 1.5, row[0]
+    # ...and are nearly free to lack on straight-line code
+    loop_heavy = next(row for row in table.rows if row[0] == "string_search_e")
+    assert loop_heavy[s8] < 1.1

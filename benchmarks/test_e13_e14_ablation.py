@@ -1,0 +1,41 @@
+"""Benchmark harnesses for the extension ablations E13 (memory latency)
+and E14 (overflow handler policy)."""
+
+from conftest import once
+
+from repro.experiments import e13_memory_latency, e14_spill_policy
+
+
+def test_e13_memory_latency(benchmark, scale, capsys):
+    table = once(benchmark, e13_memory_latency.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    mean_row = next(row for row in table.rows if row[0] == "geometric mean")
+    ratios = mean_row[1:]
+    # once memory is slower than the RISC cycle (the 400ns entry onward),
+    # RISC I's lead must widen monotonically: it makes fewer data
+    # references per unit of work
+    beyond_crossover = ratios[1:]
+    assert beyond_crossover == sorted(beyond_crossover)
+    assert beyond_crossover[-1] > beyond_crossover[0]
+    # and RISC I stays ahead at every latency
+    assert min(ratios) > 1.0
+
+
+def test_e14_spill_policy(benchmark, scale, capsys):
+    table = once(benchmark, e14_spill_policy.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    for row in table.rows:
+        traps = row[1:4]
+        # larger batches always mean fewer (or equal) overflow traps
+        assert traps[0] >= traps[1] >= traps[2], row[0]
+
+    # thrashing recursion on a small file benefits in cycles from batching...
+    ack_small = next(row for row in table.rows if row[0] == "ackermann/4w")
+    assert min(ack_small[5], ack_small[6]) < ack_small[4]
+    # ...while a well-behaved program pays for over-spilling
+    towers = next(row for row in table.rows if row[0] == "towers/4w")
+    assert towers[4] <= towers[5] <= towers[6]  # demand policy wins

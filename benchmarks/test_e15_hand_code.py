@@ -1,0 +1,26 @@
+"""Benchmark harness for E15 — compiler quality headroom."""
+
+from conftest import once
+
+from repro.experiments import e15_hand_code
+
+
+def test_e15_hand_code(benchmark, scale, capsys):
+    table = once(benchmark, e15_hand_code.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    compiled = next(row for row in table.rows if row[0] == "compiled (rcc)")
+    hand = next(row for row in table.rows if row[0] == "hand-optimized")
+    cycles = table.headers.index("cycles")
+    calls = table.headers.index("calls")
+    refs = table.headers.index("data refs")
+
+    # hand optimization pays, but by a bounded factor: the compiler is
+    # honest 1981-simple, not a strawman
+    speedup = compiled[cycles] / hand[cycles]
+    assert 1.2 <= speedup <= 3.0
+    # tail-recursion elimination halves the calls exactly
+    assert hand[calls] * 2 == compiled[calls]
+    # the global-register counter removes almost all data traffic
+    assert hand[refs] < compiled[refs] / 3

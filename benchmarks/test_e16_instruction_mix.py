@@ -1,0 +1,29 @@
+"""Benchmark harness for E16 — dynamic instruction mix."""
+
+from conftest import once
+
+from repro.experiments import e16_instruction_mix
+
+
+def test_e16_instruction_mix(benchmark, scale, capsys):
+    table = once(benchmark, e16_instruction_mix.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    suite = next(row for row in table.rows if row[0] == "SUITE")
+    arith = suite[table.headers.index("arith/logic")]
+    memory = suite[table.headers.index("load/store")]
+    control = suite[table.headers.index("control")]
+    loads = suite[table.headers.index("loads")]
+    stores = suite[table.headers.index("stores")]
+
+    # the published RISC workload profile: register ops dominate, memory
+    # operations are a minority, control transfers are frequent
+    assert arith > 40.0
+    assert 3.0 < memory < 35.0
+    assert 10.0 < control < 45.0
+    assert loads >= stores  # reads outnumber writes in compiled C
+    # every row sums to ~100 across the four categories
+    for row in table.rows:
+        total = sum(row[i] for i in range(1, 5))
+        assert abs(total - 100.0) < 0.5, row[0]

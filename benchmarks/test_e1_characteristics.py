@@ -1,0 +1,16 @@
+"""Benchmark harness for E1 — Table I: processor characteristics."""
+
+from repro.experiments import e1_characteristics
+
+
+def test_e1_table(benchmark, scale, capsys):
+    table = benchmark(e1_characteristics.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    # the paper's claim: RISC I needs an order of magnitude less control
+    assert table.cell("RISC I", "instructions") == 31
+    assert table.cell("RISC I", "decode entries") < table.cell("VAX-like", "decode entries")
+    assert table.cell("RISC I", "microcode") == "none"
+    machines = table.column("machine")
+    assert machines == ["RISC I", "VAX-like", "M68000", "Z8002"]

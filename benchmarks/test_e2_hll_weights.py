@@ -1,0 +1,23 @@
+"""Benchmark harness for E2 — Table II: weighted HLL statement cost."""
+
+from conftest import once
+
+from repro.experiments import e2_hll_weights
+
+
+def test_e2_call_dominates_when_weighted(benchmark, scale, capsys):
+    table = once(benchmark, e2_hll_weights.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    call = rows["call"]
+    # the paper's motivating observation: procedure calls are a modest
+    # share of executed statements...
+    executed_share = call[1]
+    assert executed_share < 25.0
+    # ...but amplify more than any other statement class once weighted by
+    # memory references
+    amplifications = {name: row[4] for name, row in rows.items()}
+    assert max(amplifications, key=amplifications.get) == "call"
+    assert call[3] > 2 * executed_share  # memref-weighted share >= 2x raw

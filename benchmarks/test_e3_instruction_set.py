@@ -1,0 +1,40 @@
+"""Benchmark harness for E3 — Table III: the instruction set — plus an
+encode/decode throughput microbenchmark."""
+
+import random
+
+from repro.experiments import e3_instruction_set
+from repro.isa.encoding import Instruction, decode, encode
+from repro.isa.opcodes import Category, Opcode
+
+
+def test_e3_table(benchmark, scale, capsys):
+    table = benchmark(e3_instruction_set.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    assert len(table.rows) == 31
+    categories = table.column("category")
+    assert categories.count(Category.ARITH.value) == 12
+    assert categories.count(Category.MEMORY.value) == 8
+    assert categories.count(Category.CONTROL.value) == 7
+    assert categories.count(Category.MISC.value) == 4
+
+
+def test_e3_decode_throughput(benchmark):
+    rng = random.Random(42)
+    words = [
+        encode(
+            Instruction.short(
+                Opcode.ADD, dest=rng.randrange(32), rs1=rng.randrange(32),
+                s2=rng.randrange(-4096, 4096), imm=True,
+            )
+        )
+        for _ in range(512)
+    ]
+
+    def decode_all():
+        for word in words:
+            decode(word)
+
+    benchmark(decode_all)

@@ -1,0 +1,15 @@
+"""Benchmark harness for E4 — Figure: instruction formats."""
+
+from repro.experiments import e4_formats
+
+
+def test_e4_formats(benchmark, scale, capsys):
+    table = benchmark(e4_formats.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+        print(e4_formats.render_figure())
+
+    assert table.column("total bits") == [32, 32]
+    short_fields = table.cell("short", "fields")
+    assert "s2:13" in short_fields and "opcode:7" in short_fields
+    assert "y:19" in table.cell("long", "fields")

@@ -1,0 +1,30 @@
+"""Benchmark harness for E5 — Figure: overlapped register windows."""
+
+from repro.experiments import e5_register_windows
+from repro.isa.registers import physical_index
+
+
+def test_e5_overlap_figure(benchmark, scale, capsys):
+    table = benchmark(e5_register_windows.run, scale)
+    with capsys.disabled():
+        print("\n" + e5_register_windows.render_figure())
+
+    # the load-bearing cell: A's LOW physical span equals B's HIGH span
+    assert table.cell("r10-r15 LOW", "proc A (w0)") == table.cell(
+        "r26-r31 HIGH", "proc B (w1)"
+    )
+    assert table.cell("r10-r15 LOW", "proc B (w1)") == table.cell(
+        "r26-r31 HIGH", "proc C (w2)"
+    )
+    # globals identical everywhere
+    globals_row = [table.cell("r0-r9 GLOBAL", c) for c in table.headers[1:]]
+    assert len(set(globals_row)) == 1
+
+
+def test_e5_mapping_throughput(benchmark):
+    def map_all():
+        for window in range(8):
+            for reg in range(32):
+                physical_index(window, reg)
+
+    benchmark(map_all)

@@ -1,0 +1,25 @@
+"""Benchmark harness for E6 — window overflow rate vs. window count."""
+
+from conftest import once
+
+from repro.experiments import e6_window_overflow
+
+
+def test_e6_overflow_rates(benchmark, scale, capsys):
+    table = once(benchmark, e6_window_overflow.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    window_columns = [h for h in table.headers if h.endswith("win")]
+    for row in table.rows:
+        rates = [row[table.headers.index(col)] for col in window_columns]
+        # overflow rate must fall monotonically as windows are added
+        assert all(a >= b for a, b in zip(rates, rates[1:])), row[0]
+        # with 2 windows every call spills
+        assert rates[0] == 100.0
+
+    # the paper's design point: 8 windows suffice for ordinary programs
+    # (deep recursion like Ackermann is the acknowledged pathological case)
+    for name in ("towers", "qsort", "puzzle_subscript", "sed"):
+        assert table.cell(name, "8 win") < 5.0
+    assert table.cell("ackermann", "8 win") > 10.0  # the pathological case

@@ -1,0 +1,29 @@
+"""Benchmark harness for E7 — procedure-call cost on each machine."""
+
+from conftest import once
+
+from repro.experiments import e7_call_cost
+
+
+def test_e7_call_cost(benchmark, scale, capsys):
+    table = once(benchmark, e7_call_cost.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    windows = table.rows[0]
+    vax = table.rows[-1]
+    conventional_8 = next(r for r in table.rows if "save 8" in r[0])
+
+    refs = table.headers.index("data refs")
+    time_ns = table.headers.index("time (ns)")
+
+    # register windows: almost no memory traffic per call
+    assert windows[refs] <= 2.0
+    # VAX CALLS/RET: well over a dozen memory references
+    assert vax[refs] >= 12.0
+    # the windowed call is the fastest of the three conventions
+    assert windows[time_ns] < conventional_8[time_ns]
+    assert windows[time_ns] < vax[time_ns]
+    # and the conventional projection scales with saved registers
+    times = [r[time_ns] for r in table.rows[1:4]]
+    assert times == sorted(times)

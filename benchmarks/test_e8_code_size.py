@@ -1,0 +1,25 @@
+"""Benchmark harness for E8 — benchmark program size."""
+
+from conftest import once
+
+from repro.experiments import e8_code_size
+
+
+def test_e8_code_size(benchmark, scale, capsys):
+    table = once(benchmark, e8_code_size.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    program_rows = [row for row in table.rows if row[0] != "geometric mean"]
+    mean_row = next(row for row in table.rows if row[0] == "geometric mean")
+    vax_ratio = mean_row[table.headers.index("VAX/RISC")]
+
+    # the paper's shape: CISC code is denser, but not absurdly so —
+    # RISC I's fixed 32-bit instructions cost roughly 1.3-2x VAX bytes
+    assert 0.45 <= vax_ratio <= 0.9
+    for row in program_rows:
+        assert row[table.headers.index("VAX/RISC")] < 1.0, row[0]
+        assert row[table.headers.index("68K/RISC")] < 1.0, row[0]
+        assert row[table.headers.index("Z8K/RISC")] < 1.0, row[0]
+    # the 16-bit machines are denser than the VAX-like machine on average
+    assert mean_row[table.headers.index("68K/RISC")] < vax_ratio

@@ -1,0 +1,28 @@
+"""Benchmark harness for E9 — benchmark execution time (the headline table)."""
+
+from conftest import once
+
+from repro.experiments import e9_exec_time
+
+
+def test_e9_execution_time(benchmark, scale, capsys):
+    table = once(benchmark, e9_exec_time.run, scale)
+    with capsys.disabled():
+        print("\n" + table.render())
+
+    program_rows = [row for row in table.rows if row[0] != "geometric mean"]
+    mean_row = next(row for row in table.rows if row[0] == "geometric mean")
+    vax_col = table.headers.index("VAX/RISC")
+    m68k_col = table.headers.index("68K/RISC")
+    z8k_col = table.headers.index("Z8K/RISC")
+
+    # the paper's headline: RISC I is the fastest machine overall despite
+    # its 2x slower clock
+    assert mean_row[vax_col] > 1.3
+    assert mean_row[m68k_col] > 1.0
+    assert mean_row[z8k_col] > 1.0
+    # and it wins on (essentially) every individual program
+    wins = sum(1 for row in program_rows if row[vax_col] > 1.0)
+    assert wins >= len(program_rows) - 1
+    # the biggest wins are on call-heavy programs
+    assert table.cell("towers", "VAX/RISC") > table.cell("qsort", "VAX/RISC")

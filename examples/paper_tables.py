@@ -1,0 +1,21 @@
+"""Regenerate the paper's static tables and figures (E1, E3, E4, E5).
+
+These require no simulation and print instantly; the measured tables come
+from ``risc1-experiments e6 e7 e8 e9 e10 e11`` (or the benchmark suite).
+
+Run:  python examples/paper_tables.py
+"""
+
+from repro.experiments import (
+    e1_characteristics,
+    e3_instruction_set,
+    e4_formats,
+    e5_register_windows,
+)
+
+for module in (e1_characteristics, e3_instruction_set, e4_formats):
+    print(module.run().render())
+    print()
+
+print(e4_formats.render_figure())
+print(e5_register_windows.render_figure())

@@ -1,0 +1,54 @@
+"""Quickstart: assemble and run a RISC I program, then compile some C.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.asm import assemble, disassemble_program
+from repro.cc import compile_program
+from repro.cc.driver import run_compiled
+from repro.core import CPU
+
+# ---------------------------------------------------------------- assembly
+SOURCE = """
+; sum the integers 1..10 and print the result
+main:
+    add  r2, r0, #0        ; total
+    add  r3, r0, #1        ; i
+loop:
+    add  r2, r2, r3
+    add  r3, r3, #1
+    cmp  r3, #11
+    jne  loop
+    nop                     ; delayed jump: this slot always executes
+    puti r2
+    halt
+"""
+
+program = assemble(SOURCE)
+print("=== disassembly ===")
+print(disassemble_program(program))
+
+cpu = CPU()
+cpu.load(program)
+result = cpu.run()
+print("\n=== run ===")
+print(f"output      : {result.output!r}")
+print(result.stats.summary())
+
+# ------------------------------------------------------------------- mini-C
+C_SOURCE = """
+int square(int x) { return x * x; }
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 5; i++) total += square(i);
+    putint(total);
+    return 0;
+}
+"""
+
+print("\n=== mini-C on RISC I ===")
+compiled = compile_program(C_SOURCE, target="risc1")
+run = run_compiled(compiled)
+print(f"output    : {run.output!r}   (1+4+9+16+25 = 55)")
+print(f"code size : {compiled.code_size} bytes")
+print(f"cycles    : {run.stats.cycles} ({run.stats.cycles * 400 / 1000:.1f} us at 400 ns)")

@@ -1,0 +1,15 @@
+"""Analysis tools behind the paper's evaluation tables.
+
+* :mod:`repro.analysis.report` — table rendering shared by every
+  experiment;
+* :mod:`repro.analysis.hll` — high-level-language statement profiling
+  (Table II's CALL-dominates argument);
+* :mod:`repro.analysis.windows` — register-window overflow analysis as a
+  function of window count;
+* :mod:`repro.analysis.callcost` — differential measurement of pure
+  procedure-call cost on each machine.
+"""
+
+from repro.analysis.report import Table
+
+__all__ = ["Table"]

@@ -1,0 +1,67 @@
+"""Differential measurement of procedure-call cost (experiment E7).
+
+Runs the null-call microbenchmark at two call counts on the same machine
+and divides the difference by the extra calls.  Every per-run fixed cost
+(startup, loop setup, I/O) cancels, leaving the marginal cost of one
+call/return pair: instructions, cycles, data-memory references, and
+nanoseconds.  The same subtraction applied to the VAX-like baseline prices
+CALLS/RET; the conventional-convention model of
+:mod:`repro.baselines.conventional` prices a windowless RISC.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baselines.conventional import ConventionalCallModel
+from repro.cc.driver import compile_program, run_compiled
+from repro.workloads import ALL_WORKLOADS
+
+
+@dataclasses.dataclass(frozen=True)
+class CallCost:
+    """Marginal cost of one call/return pair on one machine."""
+
+    machine: str
+    instructions: float
+    cycles: float
+    data_refs: float
+    nanoseconds: float
+
+
+def _run(target: str, calls: int):
+    workload = ALL_WORKLOADS["call_overhead"]
+    compiled = compile_program(workload.source(CALLS=calls), target=target)
+    return run_compiled(compiled)
+
+
+def measure(target: str, base_calls: int = 500, extra_calls: int = 1500) -> CallCost:
+    """Measure per-call cost on a simulated machine differentially."""
+    small = _run(target, base_calls)
+    large = _run(target, base_calls + extra_calls)
+    instructions = (large.stats.instructions - small.stats.instructions) / extra_calls
+    cycles = (large.stats.cycles - small.stats.cycles) / extra_calls
+    refs = (large.stats.data_references - small.stats.data_references) / extra_calls
+    cycle_ns = 400.0 if target == "risc1" else 200.0
+    name = "RISC I (register windows)" if target == "risc1" else "VAX-like (CALLS/RET)"
+    return CallCost(name, instructions, cycles, refs, cycles * cycle_ns)
+
+
+def conventional_cost(saved_registers: int = 8) -> CallCost:
+    """Per-call cost of the windowless RISC I projection.
+
+    Starts from the measured windowed cost and adds the conventional
+    convention's save/restore traffic.
+    """
+    windowed = measure("risc1")
+    model = ConventionalCallModel(saved_registers=saved_registers)
+    cycles = windowed.cycles + model.extra_cycles_per_call
+    refs = windowed.data_refs + model.extra_memory_refs_per_call
+    instructions = windowed.instructions + 2 * saved_registers + model.bookkeeping_instructions
+    return CallCost(
+        f"RISC I w/o windows (save {saved_registers} regs)",
+        instructions,
+        cycles,
+        refs,
+        cycles * 400.0,
+    )

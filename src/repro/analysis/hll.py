@@ -1,0 +1,192 @@
+"""High-level-language statement profiling (experiment E2).
+
+Reproduces the paper's Table II argument: procedure CALL/RETURN is a small
+fraction of *executed* statements but dominates once each statement class
+is weighted by the machine instructions and memory references it costs —
+which is why RISC I spends its transistors on register windows.
+
+Dynamic statement counts come from the IR interpreter's statement markers
+(:class:`repro.cc.ir.Marker`).  Per-class machine weights are *measured*,
+not assumed: each class has a microbenchmark pair differing only in the
+number of statements of that class executed, and the marginal cost per
+statement on each machine falls out of the difference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.cc.driver import compile_program, run_compiled
+from repro.cc.irvm import run_ir
+from repro.workloads import ALL_WORKLOADS, BENCHMARK_SUITE
+
+STATEMENT_CLASSES = ("assignment", "if", "loop", "call", "return")
+
+
+def dynamic_statement_counts(workload_names: list[str] | None = None) -> Counter:
+    """Executed HLL statements by class, summed over the benchmark suite."""
+    names = workload_names if workload_names is not None else BENCHMARK_SUITE
+    totals: Counter = Counter()
+    for name in names:
+        workload = ALL_WORKLOADS[name]
+        compiled = compile_program(workload.source(), target="risc1")
+        result = run_ir(compiled.ir)
+        for key, count in result.counts.ops.items():
+            if key.startswith("stmt:"):
+                totals[key.removeprefix("stmt:")] += count
+    return totals
+
+
+# -- per-class weight microbenchmarks ------------------------------------------------
+#
+# Each template runs a loop of KAPPA iterations whose body executes REPS
+# statements of exactly one class; the marginal cost of the class is
+# (cost(2*REPS) - cost(REPS)) / (KAPPA * REPS).
+
+_KAPPA = 200
+
+
+def _assign_body(reps: int) -> str:
+    lines = "\n".join("        sink = source + 1;" for _ in range(reps))
+    return f"""
+    int sink; int source;
+    int main() {{
+        source = 3;
+        for (int i = 0; i < {_KAPPA}; i++) {{
+{lines}
+        }}
+        return sink;
+    }}
+    """
+
+
+def _if_body(reps: int) -> str:
+    lines = "\n".join("        if (source == 12345) return 1;" for _ in range(reps))
+    return f"""
+    int source;
+    int main() {{
+        source = 3;
+        for (int i = 0; i < {_KAPPA}; i++) {{
+{lines}
+        }}
+        return 0;
+    }}
+    """
+
+
+def _loop_body(reps: int) -> str:
+    lines = "\n".join(
+        f"        for (int j{k} = 0; j{k} < 1; j{k}++) ;" for k in range(reps)
+    )
+    return f"""
+    int source;
+    int main() {{
+        for (int i = 0; i < {_KAPPA}; i++) {{
+{lines}
+        }}
+        return 0;
+    }}
+    """
+
+
+def _call_body(reps: int) -> str:
+    lines = "\n".join("        sink = leaf(sink);" for _ in range(reps))
+    return f"""
+    int sink;
+    int leaf(int x) {{ return x; }}
+    int main() {{
+        for (int i = 0; i < {_KAPPA}; i++) {{
+{lines}
+        }}
+        return 0;
+    }}
+    """
+
+
+_TEMPLATES = {
+    "assignment": _assign_body,
+    "if": _if_body,
+    "loop": _loop_body,
+    # a call statement includes the matching return
+    "call": _call_body,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassWeight:
+    """Marginal machine cost of one executed statement of a class."""
+
+    instructions: float
+    memory_refs: float
+    cycles: float
+
+
+def statement_weights(target: str, reps: int = 4) -> dict[str, ClassWeight]:
+    """Measure per-statement-class machine weights on one target."""
+    weights: dict[str, ClassWeight] = {}
+    for cls, template in _TEMPLATES.items():
+        small = _measure(template(reps), target)
+        large = _measure(template(2 * reps), target)
+        denom = _KAPPA * reps
+        weights[cls] = ClassWeight(
+            instructions=(large[0] - small[0]) / denom,
+            memory_refs=(large[1] - small[1]) / denom,
+            cycles=(large[2] - small[2]) / denom,
+        )
+    # a return executes as part of its call's cost; attribute it jointly
+    weights["return"] = ClassWeight(0.0, 0.0, 0.0)
+    return weights
+
+
+def _measure(source: str, target: str) -> tuple[int, int, int]:
+    compiled = compile_program(source, target=target)
+    result = run_compiled(compiled)
+    return result.stats.instructions, result.stats.data_references, result.stats.cycles
+
+
+@dataclasses.dataclass
+class WeightedRow:
+    statement: str
+    executed_pct: float
+    instruction_weighted_pct: float
+    memref_weighted_pct: float
+
+
+def weighted_statement_table(
+    target: str = "risc1", workload_names: list[str] | None = None
+) -> list[WeightedRow]:
+    """The Table II reproduction: frequencies vs. weighted frequencies.
+
+    CALL's share must grow dramatically from the raw column to the
+    weighted columns — that growth *is* the paper's motivation.
+    """
+    counts = Counter(dynamic_statement_counts(workload_names))
+    weights = statement_weights(target)
+    # a return's cost is bundled into its call's measured weight, so the
+    # return rows fold away rather than double-count
+    counts.pop("return", None)
+
+    total = sum(counts.values()) or 1
+    instr_mass = {
+        cls: counts.get(cls, 0) * max(weights[cls].instructions, 0.0)
+        for cls in _TEMPLATES
+    }
+    ref_mass = {
+        cls: counts.get(cls, 0) * max(weights[cls].memory_refs, 0.0)
+        for cls in _TEMPLATES
+    }
+    instr_total = sum(instr_mass.values()) or 1.0
+    ref_total = sum(ref_mass.values()) or 1.0
+
+    rows = []
+    for cls in _TEMPLATES:
+        rows.append(
+            WeightedRow(
+                statement=cls,
+                executed_pct=100.0 * counts.get(cls, 0) / total,
+                instruction_weighted_pct=100.0 * instr_mass[cls] / instr_total,
+                memref_weighted_pct=100.0 * ref_mass[cls] / ref_total,
+            )
+        )
+    return rows

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment produces one or more :class:`Table` objects so the
+benchmark harnesses can both print paper-style rows and assert on the
+underlying values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+
+@dataclasses.dataclass
+class Table:
+    """A titled table with typed cell access for assertions."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = dataclasses.field(default_factory=list)
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.title}: row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, header: str) -> list[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key: Any, header: str) -> Any:
+        """Look up a cell by first-column value and column header."""
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[index]
+        raise KeyError(f"{self.title}: no row {row_key!r}")
+
+    def render(self) -> str:
+        cells = [[_format(c) for c in row] for row in self.rows]
+        widths = [
+            max([len(h)] + [len(row[i]) for row in cells])
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for ratio columns."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

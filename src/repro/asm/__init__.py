@@ -1,0 +1,14 @@
+"""Two-pass assembler and disassembler for RISC I assembly language.
+
+The assembler turns human-readable RISC I assembly into a loadable
+:class:`repro.core.program.Program`.  It supports labels, a text and a data
+section, data directives, and a small set of pseudo-instructions (``set``,
+``mov``, ``cmp``, ``nop``, ``halt``, ``putc``, ``puti``) that expand to real
+RISC I instructions — including the LDHI+ADD idiom the paper prescribes for
+synthesizing 32-bit constants.
+"""
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.asm.disasm import disassemble, disassemble_program
+
+__all__ = ["AssemblerError", "assemble", "disassemble", "disassemble_program"]

@@ -1,0 +1,37 @@
+"""Command-line assembler: ``risc1-asm program.s``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.asm.disasm import disassemble_program
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="RISC I assembler")
+    parser.add_argument("source", help="assembly source file")
+    parser.add_argument(
+        "-d", "--disassemble", action="store_true", help="print a disassembly listing"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.source) as handle:
+        text = handle.read()
+    try:
+        program = assemble(text)
+    except AssemblerError as error:
+        print(f"{args.source}: {error}", file=sys.stderr)
+        return 1
+
+    print(f"entry   : {program.entry:#010x}")
+    print(f"code    : {program.code_size} bytes")
+    print(f"total   : {program.total_size} bytes")
+    if args.disassemble:
+        print(disassemble_program(program))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

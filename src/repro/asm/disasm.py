@@ -1,0 +1,82 @@
+"""RISC I disassembler.
+
+Produces assembler-compatible text for any 32-bit instruction word; used
+by the round-trip tests and the ``risc1-asm --disassemble`` tool.
+"""
+
+from __future__ import annotations
+
+from repro.isa.conditions import COND_MNEMONICS, Cond
+from repro.isa.encoding import Instruction, decode
+from repro.isa.opcodes import Category, Format, Opcode, opcode_info
+from repro.core.program import Program
+
+_LOADS = {Opcode.LDL, Opcode.LDSU, Opcode.LDSS, Opcode.LDBU, Opcode.LDBS}
+_STORES = {Opcode.STL, Opcode.STS, Opcode.STB}
+
+
+def _s2_text(inst: Instruction) -> str:
+    return f"#{inst.s2}" if inst.imm else f"r{inst.s2}"
+
+
+def disassemble(word: int, pc: int | None = None) -> str:
+    """Disassemble one instruction word.
+
+    When ``pc`` is given, PC-relative targets are shown as absolute
+    addresses; otherwise as ``.+offset``.
+    """
+    inst = decode(word)
+    info = opcode_info(inst.opcode)
+    mnemonic = info.mnemonic + ("!" if inst.scc and info.may_set_cc else "")
+    op = inst.opcode
+
+    if op in _LOADS:
+        return f"{mnemonic} r{inst.dest}, {inst.s2}(r{inst.rs1})"
+    if op in _STORES:
+        return f"{mnemonic} r{inst.dest}, {inst.s2}(r{inst.rs1})"
+    if op is Opcode.JMP:
+        cond = COND_MNEMONICS[inst.cond]
+        name = "jmp" if inst.cond is Cond.ALW else f"j{cond}"
+        return f"{name} {inst.s2}(r{inst.rs1})" if inst.imm else f"{name} (r{inst.rs1})r{inst.s2}"
+    if op is Opcode.JMPR:
+        cond = COND_MNEMONICS[inst.cond]
+        name = "jmp" if inst.cond is Cond.ALW else f"j{cond}"
+        target = f"{(pc + inst.y) & 0xFFFFFFFF:#x}" if pc is not None else f".{inst.y:+d}"
+        return f"{name} {target}"
+    if op is Opcode.CALL:
+        return f"call r{inst.dest}, {inst.s2}(r{inst.rs1})"
+    if op is Opcode.CALLR:
+        target = f"{(pc + inst.y) & 0xFFFFFFFF:#x}" if pc is not None else f".{inst.y:+d}"
+        return f"callr r{inst.dest}, {target}"
+    if op in (Opcode.RET, Opcode.RETINT):
+        return f"{mnemonic} r{inst.rs1}, #{inst.s2}"
+    if op is Opcode.CALLINT:
+        return f"callint r{inst.dest}"
+    if op is Opcode.LDHI:
+        return f"ldhi r{inst.dest}, #{inst.y & 0x7FFFF:#x}"
+    if op in (Opcode.GTLPC, Opcode.GETPSW):
+        return f"{mnemonic} r{inst.dest}"
+    if op is Opcode.PUTPSW:
+        return f"putpsw r{inst.dest}"
+    if info.category is Category.ARITH:
+        return f"{mnemonic} r{inst.dest}, r{inst.rs1}, {_s2_text(inst)}"
+    if info.format is Format.LONG:
+        return f"{mnemonic} r{inst.dest}, #{inst.y}"
+    return f"{mnemonic} r{inst.dest}, r{inst.rs1}, {_s2_text(inst)}"
+
+
+def disassemble_program(program: Program) -> str:
+    """Disassemble the code segment of a program, one line per word."""
+    address_names = {addr: name for name, addr in program.symbols.items()}
+    lines: list[str] = []
+    for segment in program.segments:
+        if segment.name != "code":
+            continue
+        for offset in range(0, len(segment.data), 4):
+            address = segment.base + offset
+            word = int.from_bytes(segment.data[offset : offset + 4], "big")
+            label = address_names.get(address)
+            if label:
+                lines.append(f"{label}:")
+            lines.append(f"  {address:#010x}:  {word:08x}  {disassemble(word, pc=address)}")
+    return "\n".join(lines)

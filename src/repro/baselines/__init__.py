@@ -1,0 +1,10 @@
+"""Baseline machines the paper compares RISC I against.
+
+* :mod:`repro.baselines.vax` — a full (simplified) VAX-class microcoded
+  CISC machine: variable-length instructions, operand specifiers with rich
+  addressing modes, CALLS/RET stack frames, and a cycle cost model.
+* :mod:`repro.baselines.estimators` — table-driven code-size and cycle
+  models for the Motorola 68000 and Zilog Z8002, applied to compiler IR.
+* :mod:`repro.baselines.conventional` — the "RISC I without register
+  windows" strawman used by the window ablation (experiment E11).
+"""

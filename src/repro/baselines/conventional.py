@@ -1,0 +1,90 @@
+"""The "RISC I without register windows" model (experiments E7/E11).
+
+The paper's central architectural bet is that overlapped register windows
+make procedure calls nearly free.  The natural ablation is the same ISA
+with a *conventional* calling convention: every call saves the registers
+the callee will use (plus the return address and frame linkage) to a
+memory stack and every return restores them.
+
+Rather than maintaining a second code generator, the ablation reuses a
+measured RISC I run and re-prices its calls: each call/return pair is
+charged the loads, stores and bookkeeping instructions a conventional
+convention would execute, while the window overflow/underflow costs the
+real run paid are credited back.  This per-call bookkeeping mirrors how
+the paper itself argued the comparison.  The number of registers saved
+per call is a parameter (the paper's own studies put the typical saved
+set at around 8 registers; the sensitivity sweep in benchmark E11 covers
+4..12).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.stats import ExecutionStats
+from repro.core.timing import RiscTiming
+
+
+@dataclasses.dataclass(frozen=True)
+class ConventionalCallModel:
+    """Cost model for a conventional (non-window) calling convention."""
+
+    #: registers saved at entry and restored at exit of each procedure
+    saved_registers: int = 8
+    #: extra bookkeeping instructions per call/return pair (frame pointer
+    #: adjust, return-address shuffle)
+    bookkeeping_instructions: int = 4
+    timing: RiscTiming = dataclasses.field(default_factory=RiscTiming)
+
+    @property
+    def extra_cycles_per_call(self) -> int:
+        """Cycles a call/return pair pays beyond the windowed version."""
+        memory_ops = 2 * self.saved_registers  # save at entry, restore at exit
+        return memory_ops * self.timing.memory_op_cycles + self.bookkeeping_instructions
+
+    @property
+    def extra_memory_refs_per_call(self) -> int:
+        return 2 * self.saved_registers
+
+    def reprice(self, stats: ExecutionStats) -> "ConventionalProjection":
+        """Project a windowed run's cost onto the conventional convention."""
+        call_pairs = stats.calls
+        extra_cycles = call_pairs * self.extra_cycles_per_call
+        extra_refs = call_pairs * self.extra_memory_refs_per_call
+        # credit back what the windowed run paid for overflow handling
+        cycles = stats.cycles - stats.overflow_cycles + extra_cycles
+        # each spilled register was one store, each filled one load
+        refs = (
+            stats.data_references
+            - (stats.spilled_registers + stats.filled_registers)
+            + extra_refs
+        )
+        return ConventionalProjection(
+            cycles=cycles,
+            data_references=refs,
+            windowed_cycles=stats.cycles,
+            windowed_refs=stats.data_references,
+            saved_registers=self.saved_registers,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ConventionalProjection:
+    """Outcome of repricing a run under the conventional convention."""
+
+    cycles: int
+    data_references: int
+    windowed_cycles: int
+    windowed_refs: int
+    saved_registers: int
+
+    @property
+    def slowdown(self) -> float:
+        """How much slower the conventional convention is (>1 favors windows)."""
+        return self.cycles / self.windowed_cycles if self.windowed_cycles else 1.0
+
+    @property
+    def traffic_ratio(self) -> float:
+        return (
+            self.data_references / self.windowed_refs if self.windowed_refs else 1.0
+        )

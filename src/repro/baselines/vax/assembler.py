@@ -1,0 +1,418 @@
+"""Two-pass assembler for the VAX-like baseline.
+
+Operand syntax (a subset of VAX MACRO):
+
+=================  ==========================================
+``#42`` / ``#sym``  short literal (0..63) or full immediate
+``r3 sp fp ap``     register
+``(r3)``            register deferred
+``-(sp)``           autodecrement push
+``(r3)+``           autoincrement
+``8(fp)``           displacement (8/16/32-bit chosen by value)
+``@#sym``           absolute address
+``sym``             absolute (address operands) or 16-bit
+                    relative displacement (branch operands)
+=================  ==========================================
+
+Directives: ``.text .data .entry .long .word .byte .space .ascii .asciiz
+.align .equ .global``.  ``.entry mask`` emits the 2-byte register-save
+mask that CALLS reads at the procedure entry point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.baselines.vax.isa import INSTRUCTIONS, Mode, REGISTER_NAMES, OperandSpec
+from repro.core.program import DEFAULT_CODE_BASE, Program, Segment
+
+
+class VaxAssemblerError(Exception):
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_REG_TEXT = r"(?:r\d{1,2}|sp|fp|ap|pc)"
+_DISP_RE = re.compile(rf"^(-?\w+)\(({_REG_TEXT})\)$", re.IGNORECASE)
+_DEFERRED_RE = re.compile(rf"^\(({_REG_TEXT})\)$", re.IGNORECASE)
+_AUTOINC_RE = re.compile(rf"^\(({_REG_TEXT})\)\+$", re.IGNORECASE)
+_AUTODEC_RE = re.compile(rf"^-\(({_REG_TEXT})\)$", re.IGNORECASE)
+_NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_SYM_OFFSET_RE = re.compile(r"^(?P<sym>[A-Za-z_.$][\w.$]*)\s*(?P<op>[+-])\s*(?P<num>\w+)$")
+
+
+def _reg_lookup(name: str, line: int) -> int:
+    number = REGISTER_NAMES.get(name.lower())
+    if number is None:
+        raise VaxAssemblerError(f"bad register {name!r}", line)
+    return number
+
+
+def _parse_number(text: str, line: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise VaxAssemblerError(f"bad number {text!r}", line) from None
+
+
+@dataclasses.dataclass
+class _Operand:
+    """A parsed operand with enough information for exact sizing."""
+
+    kind: str  # literal, immediate, register, deferred, autoinc, autodec, disp, absolute, symbol
+    reg: int = 0
+    value: int = 0
+    symbol: str | None = None
+    #: constant added to a symbol's resolved value (``sym+4`` operands)
+    addend: int = 0
+
+    def size(self, width: int, access: str) -> int:
+        if access == "b":
+            return 2
+        if self.kind == "literal":
+            return 1
+        if self.kind == "immediate":
+            return 1 + width
+        if self.kind in ("register", "deferred", "autoinc", "autodec"):
+            return 1
+        if self.kind == "disp":
+            return 1 + _disp_bytes(self.value)
+        if self.kind in ("absolute", "symbol"):
+            return 5
+        raise AssertionError(self.kind)
+
+
+def _disp_bytes(value: int) -> int:
+    if -128 <= value <= 127:
+        return 1
+    if -32768 <= value <= 32767:
+        return 2
+    return 4
+
+
+def _symbolic(kind: str, text: str, line: int) -> "_Operand | None":
+    """Parse ``sym`` or ``sym±offset`` into a symbolic operand."""
+    if _NAME_RE.match(text):
+        return _Operand(kind, symbol=text)
+    match = _SYM_OFFSET_RE.match(text)
+    if match:
+        addend = _parse_number(match.group("num"), line)
+        if match.group("op") == "-":
+            addend = -addend
+        return _Operand(kind, symbol=match.group("sym"), addend=addend)
+    return None
+
+
+def parse_operand(text: str, line: int) -> _Operand:
+    text = text.strip()
+    if text.startswith("@#"):
+        rest = text[2:]
+        operand = _symbolic("absolute", rest, line)
+        if operand:
+            return operand
+        return _Operand("absolute", value=_parse_number(rest, line))
+    if text.startswith("#"):
+        rest = text[1:]
+        if _NAME_RE.match(rest) and not rest.lstrip("-").isdigit():
+            return _Operand("immediate", symbol=rest)
+        value = _parse_number(rest, line)
+        if 0 <= value <= 63:
+            return _Operand("literal", value=value)
+        return _Operand("immediate", value=value)
+    lowered = text.lower()
+    if lowered in REGISTER_NAMES:
+        return _Operand("register", reg=REGISTER_NAMES[lowered])
+    match = _AUTODEC_RE.match(text)
+    if match:
+        return _Operand("autodec", reg=_reg_lookup(match.group(1), line))
+    match = _AUTOINC_RE.match(text)
+    if match:
+        return _Operand("autoinc", reg=_reg_lookup(match.group(1), line))
+    match = _DEFERRED_RE.match(text)
+    if match:
+        return _Operand("deferred", reg=_reg_lookup(match.group(1), line))
+    match = _DISP_RE.match(text)
+    if match:
+        disp = _parse_number(match.group(1), line)
+        return _Operand("disp", reg=_reg_lookup(match.group(2), line), value=disp)
+    if _NAME_RE.match(text):
+        return _Operand("symbol", symbol=text)
+    raise VaxAssemblerError(f"cannot parse operand {text!r}", line)
+
+
+@dataclasses.dataclass
+class _Item:
+    kind: str  # "inst" or "data"
+    mnemonic: str
+    operands: list[str]
+    line: int
+    source: str
+    section: str
+    offset: int = 0
+    size: int = 0
+
+
+class VaxAssembler:
+    def __init__(self, code_base: int = DEFAULT_CODE_BASE):
+        self.code_base = code_base
+        self.symbols: dict[str, int] = {}
+        self._sym_sections: dict[str, tuple[str, int]] = {}
+        self.equates: dict[str, int] = {}
+        self._items: list[_Item] = []
+
+    # -- public ----------------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        self._pass1(source)
+        code_size = max(
+            (i.offset + i.size for i in self._items if i.section == "text"), default=0
+        )
+        data_base = (self.code_base + code_size + 255) // 256 * 256
+        bases = {"text": self.code_base, "data": data_base}
+        for name, (section, offset) in self._sym_sections.items():
+            self.symbols[name] = bases[section] + offset
+        self.symbols.update(self.equates)
+        code, data = self._pass2(bases)
+        segments = [Segment(self.code_base, bytes(code), name="code")]
+        if data:
+            segments.append(Segment(data_base, bytes(data), name="data"))
+        entry = self.symbols.get("__start", self.symbols.get("main"))
+        if entry is None:
+            raise VaxAssemblerError("no entry point: define __start or main")
+        return Program(tuple(segments), entry, dict(self.symbols))
+
+    # -- pass 1 -----------------------------------------------------------------
+
+    def _pass1(self, source: str) -> None:
+        section = "text"
+        offsets = {"text": 0, "data": 0}
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                name = match.group(1)
+                if name in self._sym_sections:
+                    raise VaxAssemblerError(f"duplicate label {name!r}", lineno)
+                self._sym_sections[name] = (section, offsets[section])
+                line = line[match.end() :].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+            if mnemonic == ".global":
+                continue
+            if mnemonic == ".equ":
+                self.equates[operands[0]] = _parse_number(operands[1], lineno)
+                continue
+            item = _Item("inst" if not mnemonic.startswith(".") else "data",
+                         mnemonic, operands, lineno, line, section, offsets[section])
+            item.size = self._sizeof(item, offsets[section])
+            offsets[section] += item.size
+            self._items.append(item)
+
+    def _sizeof(self, item: _Item, offset: int) -> int:
+        m = item.mnemonic
+        if m == ".entry":
+            return 2
+        if m == ".long":
+            return 4 * len(item.operands)
+        if m == ".word":
+            return 2 * len(item.operands)
+        if m == ".byte":
+            return len(item.operands)
+        if m == ".space":
+            return _parse_number(item.operands[0], item.line)
+        if m == ".align":
+            boundary = _parse_number(item.operands[0], item.line)
+            return (-offset) % boundary
+        if m in (".ascii", ".asciiz"):
+            text = _parse_string(item.operands, item.line)
+            return len(text) + (1 if m == ".asciiz" else 0)
+        if m.startswith("."):
+            raise VaxAssemblerError(f"unknown directive {m!r}", item.line)
+        info = INSTRUCTIONS.get(m)
+        if info is None:
+            raise VaxAssemblerError(f"unknown mnemonic {m!r}", item.line)
+        if len(item.operands) != len(info.operands):
+            raise VaxAssemblerError(
+                f"{m} expects {len(info.operands)} operand(s), got {len(item.operands)}",
+                item.line,
+            )
+        size = 1
+        for text, spec in zip(item.operands, info.operands):
+            operand = parse_operand(text, item.line)
+            size += operand.size(spec.width, spec.access)
+        return size
+
+    # -- pass 2 -----------------------------------------------------------------
+
+    def _pass2(self, bases: dict[str, int]) -> tuple[bytearray, bytearray]:
+        code = bytearray()
+        data = bytearray()
+        for item in self._items:
+            out = code if item.section == "text" else data
+            if len(out) != item.offset:
+                out.extend(b"\0" * (item.offset - len(out)))
+            if item.mnemonic.startswith("."):
+                self._emit_data(item, out)
+            else:
+                self._emit_instruction(item, out, bases["text"])
+            if len(out) - item.offset != item.size:
+                raise VaxAssemblerError(
+                    f"sizing mismatch for {item.source!r}: reserved {item.size}, "
+                    f"emitted {len(out) - item.offset}",
+                    item.line,
+                )
+        return code, data
+
+    def _resolve(self, symbol: str, line: int) -> int:
+        if symbol not in self.symbols:
+            raise VaxAssemblerError(f"undefined symbol {symbol!r}", line)
+        return self.symbols[symbol]
+
+    def _emit_data(self, item: _Item, out: bytearray) -> None:
+        m = item.mnemonic
+        if m == ".entry":
+            mask = _parse_number(item.operands[0], item.line) if item.operands else 0
+            out.extend(mask.to_bytes(2, "big"))
+        elif m in (".long", ".word", ".byte"):
+            width = {".long": 4, ".word": 2, ".byte": 1}[m]
+            for text in item.operands:
+                if _NAME_RE.match(text) and not text.lstrip("-").isdigit():
+                    value = self._resolve(text, item.line)
+                else:
+                    value = _parse_number(text, item.line)
+                out.extend((value & ((1 << (8 * width)) - 1)).to_bytes(width, "big"))
+        elif m in (".ascii", ".asciiz"):
+            text = _parse_string(item.operands, item.line)
+            out.extend(text.encode("latin-1"))
+            if m == ".asciiz":
+                out.append(0)
+        elif m in (".space", ".align"):
+            out.extend(b"\0" * item.size)
+
+    def _emit_instruction(self, item: _Item, out: bytearray, text_base: int) -> None:
+        info = INSTRUCTIONS[item.mnemonic]
+        address = text_base + item.offset
+        out.append(info.opcode)
+        cursor = address + 1
+        for text, spec in zip(item.operands, info.operands):
+            operand = parse_operand(text, item.line)
+            encoded = self._encode_operand(operand, spec, cursor, item.line)
+            out.extend(encoded)
+            cursor += len(encoded)
+
+    def _encode_operand(
+        self, operand: _Operand, spec: OperandSpec, cursor: int, line: int
+    ) -> bytes:
+        if spec.access == "b":
+            if operand.kind == "symbol":
+                target = self._resolve(operand.symbol, line)
+            elif operand.kind in ("immediate", "literal"):
+                target = operand.value
+            else:
+                raise VaxAssemblerError("branch needs a label or address", line)
+            disp = target - (cursor + 2)
+            if not -32768 <= disp <= 32767:
+                raise VaxAssemblerError(f"branch displacement {disp} out of range", line)
+            return disp.to_bytes(2, "big", signed=True)
+
+        kind = operand.kind
+        if kind == "symbol":
+            # bare symbol: absolute for address operands, immediate otherwise
+            value = self._resolve(operand.symbol, line) + operand.addend
+            if spec.access == "a":
+                return bytes([(Mode.ABSOLUTE << 4) | 15]) + value.to_bytes(4, "big")
+            return bytes([(Mode.AUTOINC << 4) | 15]) + (value & 0xFFFFFFFF).to_bytes(4, "big")
+        if kind == "literal":
+            return bytes([operand.value & 0x3F])
+        if kind == "immediate":
+            value = (
+                self._resolve(operand.symbol, line) + operand.addend
+                if operand.symbol
+                else operand.value
+            )
+            mask = (1 << (8 * spec.width)) - 1
+            return bytes([(Mode.AUTOINC << 4) | 15]) + (value & mask).to_bytes(
+                spec.width, "big"
+            )
+        if kind == "register":
+            return bytes([(Mode.REGISTER << 4) | operand.reg])
+        if kind == "deferred":
+            return bytes([(Mode.DEFERRED << 4) | operand.reg])
+        if kind == "autoinc":
+            return bytes([(Mode.AUTOINC << 4) | operand.reg])
+        if kind == "autodec":
+            return bytes([(Mode.AUTODEC << 4) | operand.reg])
+        if kind == "absolute":
+            value = (
+                self._resolve(operand.symbol, line) + operand.addend
+                if operand.symbol
+                else operand.value
+            )
+            return bytes([(Mode.ABSOLUTE << 4) | 15]) + (value & 0xFFFFFFFF).to_bytes(4, "big")
+        if kind == "disp":
+            size = _disp_bytes(operand.value)
+            mode = {1: Mode.DISP8, 2: Mode.DISP16, 4: Mode.DISP32}[size]
+            return bytes([(mode << 4) | operand.reg]) + operand.value.to_bytes(
+                size, "big", signed=True
+            )
+        raise AssertionError(kind)
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == '"':
+            in_string = not in_string
+        elif not in_string and ch == ";":
+            return line[:i]
+    return line
+
+
+def _split_operands(text: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    in_string = False
+    current: list[str] = []
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+        if not in_string:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                parts.append("".join(current).strip())
+                current = []
+                continue
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_string(operands: list[str], line: int) -> str:
+    text = ",".join(operands).strip()
+    if not (text.startswith('"') and text.endswith('"')):
+        raise VaxAssemblerError(f"expected string literal, got {text!r}", line)
+    return text[1:-1].encode().decode("unicode_escape")
+
+
+def assemble_vax(source: str, code_base: int = DEFAULT_CODE_BASE) -> Program:
+    """Assemble VAX-like assembly into a loadable program."""
+    return VaxAssembler(code_base).assemble(source)

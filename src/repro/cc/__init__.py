@@ -1,0 +1,22 @@
+"""RCC — the mini-C compiler substrate.
+
+The paper's evaluation compares *compiled C programs* across five machines.
+This package provides the compiler that makes such a comparison possible in
+this reproduction: a small C dialect (ints, chars, pointers, arrays,
+functions, full statement and expression repertoire) with a shared
+front-end and IR, and per-ISA backends:
+
+* :mod:`repro.cc.riscgen` — RISC I code with the register-window calling
+  convention and delay-slot filling;
+* :mod:`repro.cc.ciscgen` — VAX-like code with memory operands and CALLS
+  stack frames (see :mod:`repro.baselines.vax`).
+
+Using one front-end for every target removes compiler quality as a
+confound, which is the fair-comparison property the paper's methodology
+needs (its own C compilers were of similar, simple quality).
+"""
+
+from repro.cc.driver import CompiledProgram, compile_program, compile_to_assembly
+from repro.cc.errors import CompileError
+
+__all__ = ["CompileError", "CompiledProgram", "compile_program", "compile_to_assembly"]

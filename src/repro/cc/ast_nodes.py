@@ -1,0 +1,248 @@
+"""Abstract syntax tree for mini-C."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Union
+
+
+# -- types --------------------------------------------------------------------
+
+
+class BaseType(enum.Enum):
+    INT = "int"
+    CHAR = "char"
+    VOID = "void"
+
+
+@dataclasses.dataclass(frozen=True)
+class Type:
+    """A mini-C type: a base type with a pointer depth and optional array size.
+
+    ``Type(INT)`` is ``int``; ``Type(CHAR, pointers=1)`` is ``char*``;
+    ``Type(INT, array=10)`` is ``int[10]``.  Arrays of pointers and
+    multi-dimensional arrays are intentionally out of scope.
+    """
+
+    base: BaseType
+    pointers: int = 0
+    array: Optional[int] = None
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointers > 0
+
+    @property
+    def is_array(self) -> bool:
+        return self.array is not None
+
+    @property
+    def element(self) -> "Type":
+        """Type of the pointed-to / element object."""
+        if self.is_array:
+            return Type(self.base, self.pointers)
+        if self.is_pointer:
+            return Type(self.base, self.pointers - 1)
+        raise ValueError(f"{self} has no element type")
+
+    @property
+    def width(self) -> int:
+        """Access width in bytes for a scalar of this type."""
+        if self.is_pointer or self.is_array or self.base is BaseType.INT:
+            return 4
+        if self.base is BaseType.CHAR:
+            return 1
+        raise ValueError(f"{self} has no width")
+
+    @property
+    def size(self) -> int:
+        """Storage size in bytes (arrays included)."""
+        if self.is_array:
+            element_width = 4 if self.pointers else Type(self.base).width
+            return element_width * self.array
+        return self.width
+
+    def decay(self) -> "Type":
+        """Array-to-pointer decay."""
+        if self.is_array:
+            return Type(self.base, self.pointers + 1)
+        return self
+
+    def __str__(self) -> str:
+        text = self.base.value + "*" * self.pointers
+        if self.is_array:
+            text += f"[{self.array}]"
+        return text
+
+
+INT = Type(BaseType.INT)
+CHAR = Type(BaseType.CHAR)
+VOID = Type(BaseType.VOID)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Expr:
+    line: int
+    #: Filled in by semantic analysis.
+    type: Optional[Type] = dataclasses.field(default=None, compare=False)
+
+
+@dataclasses.dataclass
+class NumberLit(Expr):
+    value: int = 0
+
+
+@dataclasses.dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclasses.dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclasses.dataclass
+class Unary(Expr):
+    op: str = ""  # -, !, ~, *, &
+    operand: Expr = None
+
+
+@dataclasses.dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclasses.dataclass
+class Assign(Expr):
+    op: str = "="  # =, +=, -=, *=, /=, %=, &=, |=, ^=, <<=, >>=
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclasses.dataclass
+class IncDec(Expr):
+    op: str = "++"
+    prefix: bool = True
+    target: Expr = None
+
+
+@dataclasses.dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclasses.dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = dataclasses.field(default_factory=list)
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Stmt:
+    line: int
+
+
+@dataclasses.dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclasses.dataclass
+class Decl(Stmt):
+    name: str = ""
+    var_type: Type = None
+    init: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Block(Stmt):
+    body: list[Stmt] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclasses.dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclasses.dataclass
+class DoWhile(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclasses.dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclasses.dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclasses.dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- top level -----------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Param:
+    name: str
+    type: Type
+    line: int
+
+
+@dataclasses.dataclass
+class FuncDef:
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: Optional[Block]  # None for a forward declaration (prototype)
+    line: int
+
+
+@dataclasses.dataclass
+class GlobalVar:
+    name: str
+    type: Type
+    init: Optional[Expr]
+    line: int
+
+
+@dataclasses.dataclass
+class TranslationUnit:
+    functions: list[FuncDef] = dataclasses.field(default_factory=list)
+    globals: list[GlobalVar] = dataclasses.field(default_factory=list)
+
+
+Node = Union[Expr, Stmt, FuncDef, GlobalVar, TranslationUnit]

@@ -1,0 +1,347 @@
+"""VAX-like (CISC) code generator.
+
+Lowering decisions, in the idiom of a 1981 CISC compiler:
+
+* every variable lives in memory — parameters in the CALLS argument list
+  (``4+4i(ap)``), locals in the stack frame at negative FP offsets,
+  globals at absolute addresses — and instructions operate on those memory
+  operands directly (``addl3 4(ap), -4(fp), r2``), which is exactly the
+  memory-traffic profile the paper attributes to CISC compilers;
+* only expression temporaries use registers (r2..r5, declared in the
+  procedure's CALLS entry mask; r0/r1 are caller-trashed staging and the
+  return-value register);
+* multiply and divide use the hardware instructions (the CISC advantage);
+  ``%`` lowers to the div/mul/sub triple since the baseline has no EDIV;
+* procedure linkage is CALLS/RET with argument pushes — the expensive
+  mechanism the register-window comparison (E7) measures.
+
+Byte-width memory accesses always stage values through a register: the
+shared simulator memory is big-endian, so a ``movb`` from a word-sized
+slot would read the wrong byte.
+"""
+
+from __future__ import annotations
+
+from repro.cc import ir
+from repro.cc.errors import CompileError
+from repro.cc.regalloc import allocate
+from repro.cc.sema import VarInfo
+
+MMIO_PUTCHAR = "@#0x7F000000"
+MMIO_PUTINT = "@#0x7F000004"
+MMIO_HALT = "@#0x7F00000C"
+
+_TEMP_POOL = [2, 3, 4, 5]
+
+_BINOP3 = {"+": "addl3", "&": "andl3", "|": "bisl3", "^": "xorl3", "*": "mull3"}
+_REL_BRANCH = {"==": "beql", "!=": "bneq", "<": "blss", "<=": "bleq", ">": "bgtr", ">=": "bgeq"}
+_REL_INVERSE = {"==": "bneq", "!=": "beql", "<": "bgeq", "<=": "bgtr", ">": "bleq", ">=": "blss"}
+
+PUTS_RUNTIME = """__puts:
+    .entry 0x000C
+    movl 4(ap), r2
+__puts_loop:
+    movzbl (r2), r3
+    tstl r3
+    beql __puts_done
+    movl r3, @#0x7F000000
+    incl r2
+    brw __puts_loop
+__puts_done:
+    ret
+"""
+
+
+class _FunctionCodegen:
+    def __init__(self, func: ir.IRFunction, used_runtime: set[str]):
+        self.func = func
+        self.used_runtime = used_runtime
+        self.lines: list[str] = []
+        self.var_text: dict[VarInfo, str] = {}
+        self._label_count = 0
+        self.frame_size = 0
+        self._place_variables()
+
+    # -- placement ---------------------------------------------------------
+
+    def _place_variables(self) -> None:
+        for i, param in enumerate(self.func.params):
+            self.var_text[param] = f"{4 + 4 * i}(ap)"
+        offset = 0
+        for var in self.func.locals:
+            size = (var.type.size + 3) & ~3
+            offset += size
+            self.var_text[var] = f"{-offset}(fp)"
+        self.alloc = allocate(self.func.instrs, _TEMP_POOL)
+        self._locals_size = offset
+        offset += 4 * self.alloc.num_spill_slots
+        self.frame_size = (offset + 3) & ~3
+
+    def _var_address_base(self, var: VarInfo) -> tuple[str, int]:
+        """(base register, offset) for AddrVar of a frame variable."""
+        text = self.var_text[var]
+        offset, reg = text.split("(")
+        return reg.rstrip(")"), int(offset)
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def _local_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f".{hint}_{self.func.name}_{self._label_count}"
+
+    # -- operands -----------------------------------------------------------------
+
+    def operand(self, op: ir.Operand) -> str:
+        """Operand text, folding memory and immediate operands directly."""
+        if isinstance(op, int):
+            return f"#{op}"
+        if isinstance(op, ir.Temp):
+            if op in self.alloc.registers:
+                return f"r{self.alloc.registers[op]}"
+            slot = self._locals_size + 4 + 4 * self.alloc.spills[op]
+            return f"{-slot}(fp)"
+        if op in self.var_text:
+            return self.var_text[op]
+        return f"@#{op.name}"  # global
+
+    def reg_operand(self, op: ir.Operand, scratch: str) -> str:
+        """Force an operand into a register (needed for byte stores etc.)."""
+        text = self.operand(op)
+        if text.startswith("r") and text[1:].isdigit():
+            return text
+        self.emit(f"movl {text}, {scratch}")
+        return scratch
+
+    def dest(self, dst: ir.Temp) -> str:
+        return self.operand(dst)
+
+    # -- body -----------------------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        body: list[str] = []
+        saved_lines = self.lines
+        self.lines = body
+        for instr in self.func.instrs:
+            self._gen(instr)
+        self.lines = saved_lines
+
+        mask = 0
+        for reg in set(self.alloc.registers.values()):
+            mask |= 1 << reg
+        self.emit_label(self.func.name)
+        self.emit(f".entry {mask:#06x}")
+        if self.frame_size:
+            self.emit(f"subl2 #{self.frame_size}, sp")
+        self.lines.extend(body)
+        return self.lines
+
+    def _gen(self, instr: ir.Instr) -> None:
+        if isinstance(instr, ir.Marker):
+            return  # statement markers are profiling-only
+        if isinstance(instr, ir.Label):
+            self.emit_label(instr.name)
+        elif isinstance(instr, ir.Const):
+            self.emit(f"movl #{instr.value}, {self.dest(instr.dst)}")
+        elif isinstance(instr, (ir.Move, ir.GetVar)):
+            src = instr.src if isinstance(instr, ir.Move) else instr.var
+            self.emit(f"movl {self.operand(src)}, {self.dest(instr.dst)}")
+        elif isinstance(instr, ir.SetVar):
+            self.emit(f"movl {self.operand(instr.src)}, {self.operand(instr.var)}")
+        elif isinstance(instr, ir.AddrVar):
+            self._gen_addrvar(instr)
+        elif isinstance(instr, ir.UnOp):
+            self._gen_unop(instr)
+        elif isinstance(instr, ir.BinOp):
+            self._gen_binop(instr)
+        elif isinstance(instr, ir.SetCmp):
+            self._gen_setcmp(instr)
+        elif isinstance(instr, ir.Load):
+            self._gen_load(instr)
+        elif isinstance(instr, ir.Store):
+            self._gen_store(instr)
+        elif isinstance(instr, ir.Call):
+            self._gen_call(instr)
+        elif isinstance(instr, ir.Jump):
+            self.emit(f"brw {instr.target}")
+        elif isinstance(instr, ir.CBranch):
+            self.emit(f"cmpl {self.operand(instr.a)}, {self.operand(instr.b)}")
+            self.emit(f"{_REL_BRANCH[instr.op]} {instr.target}")
+        elif isinstance(instr, ir.Ret):
+            if instr.src is not None:
+                self.emit(f"movl {self.operand(instr.src)}, r0")
+            self.emit("ret")
+        else:
+            raise CompileError(f"ciscgen: unhandled IR {type(instr).__name__}")
+
+    def _gen_addrvar(self, instr: ir.AddrVar) -> None:
+        var = instr.var
+        if var in self.var_text:
+            self.emit(f"moval {self.var_text[var]}, {self.dest(instr.dst)}")
+        elif var.is_global:
+            self.emit(f"moval @#{var.name}, {self.dest(instr.dst)}")
+        else:
+            raise CompileError(f"ciscgen: address of unknown variable {var.name!r}")
+
+    def _gen_unop(self, instr: ir.UnOp) -> None:
+        dst = self.dest(instr.dst)
+        src = self.operand(instr.src)
+        if instr.op == "neg":
+            self.emit(f"mnegl {src}, {dst}")
+        elif instr.op == "bnot":
+            self.emit(f"mcoml {src}, {dst}")
+        else:  # lnot
+            done = self._local_label("lnot")
+            self.emit(f"clrl {dst}")
+            self.emit(f"tstl {src}")
+            self.emit(f"bneq {done}")
+            self.emit(f"incl {dst}")
+            self.emit_label(done)
+
+    def _gen_binop(self, instr: ir.BinOp) -> None:
+        dst = self.dest(instr.dst)
+        a, b = self.operand(instr.a), self.operand(instr.b)
+        op = instr.op
+        if op in _BINOP3:
+            self.emit(f"{_BINOP3[op]} {b}, {a}, {dst}")
+        elif op == "-":
+            self.emit(f"subl3 {b}, {a}, {dst}")  # dif = min - sub
+        elif op == "/":
+            self.emit(f"divl3 {b}, {a}, {dst}")  # quo = dividend / divisor
+        elif op == "%":
+            # no EDIV in the baseline: r = a - (a/b)*b
+            self.emit(f"divl3 {b}, {a}, r0")
+            self.emit(f"mull3 r0, {b}, r1")
+            self.emit(f"subl3 r1, {a}, {dst}")
+        elif op == "<<":
+            self._gen_shift(instr, left=True)
+        elif op == ">>":
+            self._gen_shift(instr, left=False)
+        else:
+            raise CompileError(f"ciscgen: unhandled operator {op!r}")
+
+    def _gen_shift(self, instr: ir.BinOp, left: bool) -> None:
+        dst = self.dest(instr.dst)
+        src = self.operand(instr.a)
+        if isinstance(instr.b, int):
+            count = instr.b if left else -instr.b
+            self.emit(f"ashl #{count & 0xFF}, {src}, {dst}")
+            return
+        # the count operand is byte-width: stage memory-resident counts in a
+        # register so the low byte read picks up the right end of the word
+        count = self.reg_operand(instr.b, "r0")
+        if left:
+            self.emit(f"ashl {count}, {src}, {dst}")
+        else:
+            self.emit(f"mnegl {count}, r0")
+            self.emit(f"ashl r0, {src}, {dst}")
+
+    def _gen_setcmp(self, instr: ir.SetCmp) -> None:
+        dst = self.dest(instr.dst)
+        done = self._local_label("scc")
+        self.emit(f"clrl {dst}")
+        self.emit(f"cmpl {self.operand(instr.a)}, {self.operand(instr.b)}")
+        self.emit(f"{_REL_INVERSE[instr.op]} {done}")
+        self.emit(f"incl {dst}")
+        self.emit_label(done)
+
+    def _mem_operand(self, addr: ir.Operand, offset: int) -> str:
+        """Memory operand text for a computed address plus constant offset."""
+        if isinstance(addr, ir.Temp) and addr in self.alloc.registers:
+            reg = f"r{self.alloc.registers[addr]}"
+        else:
+            reg = self.reg_operand(addr, "r1")
+        return f"({reg})" if offset == 0 else f"{offset}({reg})"
+
+    def _gen_load(self, instr: ir.Load) -> None:
+        dst = self.dest(instr.dst)
+        mem = self._mem_operand(instr.addr, instr.offset)
+        if instr.width == 4:
+            self.emit(f"movl {mem}, {dst}")
+        elif instr.width == 2:
+            self.emit(f"{'cvtwl' if instr.signed else 'movzwl'} {mem}, {dst}")
+        else:
+            self.emit(f"{'cvtbl' if instr.signed else 'movzbl'} {mem}, {dst}")
+
+    def _gen_store(self, instr: ir.Store) -> None:
+        mem = self._mem_operand(instr.addr, instr.offset)
+        if instr.width == 4:
+            self.emit(f"movl {self.operand(instr.src)}, {mem}")
+            return
+        value = self.reg_operand(instr.src, "r0")
+        self.emit(f"{'movb' if instr.width == 1 else 'movw'} {value}, {mem}")
+
+    def _gen_call(self, instr: ir.Call) -> None:
+        if instr.name == "putchar":
+            self.emit(f"movl {self.operand(instr.args[0])}, {MMIO_PUTCHAR}")
+            return
+        if instr.name == "putint":
+            self.emit(f"movl {self.operand(instr.args[0])}, {MMIO_PUTINT}")
+            return
+        name = "__puts" if instr.name == "puts" else instr.name
+        if name == "__puts":
+            self.used_runtime.add(name)
+        for arg in reversed(instr.args):
+            self.emit(f"pushl {self.operand(arg)}")
+        self.emit(f"calls #{len(instr.args)}, {name}")
+        if instr.dst is not None:
+            self.emit(f"movl r0, {self.dest(instr.dst)}")
+
+
+class CiscCodegen:
+    """Generates a complete VAX-like assembly module from an IR program."""
+
+    def __init__(self, program: ir.IRProgram):
+        self.program = program
+        self.used_runtime: set[str] = set()
+
+    def generate(self) -> str:
+        lines: list[str] = ["; generated by rcc (VAX-like CISC backend)", "    .text"]
+        lines += [
+            "__start:",
+            "    calls #0, main",
+            f"    movl r0, {MMIO_HALT}",
+        ]
+        for func in self.program.functions:
+            codegen = _FunctionCodegen(func, self.used_runtime)
+            lines.extend(codegen.generate())
+        if "__puts" in self.used_runtime:
+            lines.append(PUTS_RUNTIME)
+        lines.extend(self._data_section())
+        return "\n".join(lines) + "\n"
+
+    def _data_section(self) -> list[str]:
+        lines: list[str] = []
+        if not self.program.globals and not self.program.strings:
+            return lines
+        lines.append("    .data")
+        for gdef in self.program.globals:
+            var = gdef.var
+            lines.append("    .align 4")
+            if var.type.is_array:
+                lines.append(f"{var.name}: .space {var.type.size}")
+            elif gdef.init_string is not None:
+                lines.append(f"{var.name}: .long {gdef.init_string}")
+            else:
+                lines.append(f"{var.name}: .long {gdef.init_value or 0}")
+        for label, text in self.program.strings.items():
+            escaped = (
+                text.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\r", "\\r")
+                .replace("\0", "\\0")
+            )
+            lines.append(f'{label}: .asciiz "{escaped}"')
+        return lines
+
+
+def generate_cisc_assembly(program: ir.IRProgram) -> str:
+    """IR program -> VAX-like assembly text."""
+    return CiscCodegen(program).generate()

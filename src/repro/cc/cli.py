@@ -1,0 +1,52 @@
+"""Command-line compiler: ``risc1-cc program.rc``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cc.driver import TARGETS, compile_program, run_compiled
+from repro.cc.errors import CompileError
+from repro.cc.ir import format_ir
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="mini-C compiler for RISC I and the CISC baseline")
+    parser.add_argument("source", help="mini-C source file")
+    parser.add_argument("--target", choices=TARGETS, default="risc1")
+    parser.add_argument("-S", "--assembly", action="store_true", help="print assembly and stop")
+    parser.add_argument("--ir", action="store_true", help="print the IR and stop")
+    parser.add_argument("--run", action="store_true", help="compile and execute")
+    parser.add_argument("--stats", action="store_true", help="print execution statistics")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as handle:
+        source = handle.read()
+    try:
+        compiled = compile_program(source, target=args.target)
+    except CompileError as error:
+        print(f"{args.source}: {error}", file=sys.stderr)
+        return 1
+
+    if args.ir:
+        print(format_ir(compiled.ir))
+        return 0
+    if args.assembly:
+        print(compiled.assembly)
+        return 0
+
+    print(f"target    : {compiled.target}")
+    print(f"code size : {compiled.code_size} bytes")
+    if compiled.delay_stats:
+        print(f"delay fill: {compiled.delay_stats.fill_rate:.0%}")
+    if args.run:
+        result = run_compiled(compiled)
+        sys.stdout.write(result.output)
+        if args.stats:
+            print(result.stats.summary(), file=sys.stderr)
+        return result.exit_code
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Compiler driver: mini-C source to a runnable program image.
+
+Targets:
+
+* ``"risc1"`` — the paper's machine (assembled by :mod:`repro.asm`);
+* ``"cisc"`` — the VAX-like baseline (assembled by
+  :mod:`repro.baselines.vax.assembler`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.cc.delay import DelayStats, optimize
+from repro.cc.errors import CompileError
+from repro.cc.ir import IRProgram
+from repro.cc.irgen import generate_ir
+from repro.cc.parser import parse
+from repro.cc.riscgen import generate_risc_assembly
+from repro.cc.sema import analyze
+from repro.core.program import Program
+
+TARGETS = ("risc1", "cisc")
+
+
+@dataclasses.dataclass
+class CompiledProgram:
+    """Everything the experiments need from one compilation."""
+
+    target: str
+    assembly: str
+    program: Program
+    ir: IRProgram
+    delay_stats: Optional[DelayStats] = None
+
+    @property
+    def code_size(self) -> int:
+        """Code bytes — the paper's program-size metric."""
+        return self.program.code_size
+
+
+def compile_to_ir(source: str) -> IRProgram:
+    """Front half of the compiler: source -> IR."""
+    unit = parse(source)
+    info, analyzer = analyze(unit)
+    return generate_ir(info, analyzer)
+
+
+def compile_to_assembly(source: str, target: str = "risc1") -> str:
+    """Compile mini-C to assembly text for the chosen target."""
+    return compile_program(source, target).assembly
+
+
+def compile_program(
+    source: str, target: str = "risc1", fill_delay_slots: bool = True
+) -> CompiledProgram:
+    """Compile mini-C to a loadable program image for the chosen target."""
+    if target not in TARGETS:
+        raise CompileError(f"unknown target {target!r}; expected one of {TARGETS}")
+    ir_program = compile_to_ir(source)
+
+    if target == "risc1":
+        from repro.asm.assembler import assemble
+
+        asm = generate_risc_assembly(ir_program)
+        delay_stats = None
+        if fill_delay_slots:
+            asm, delay_stats = optimize(asm)
+        program = assemble(asm)
+        return CompiledProgram("risc1", asm, program, ir_program, delay_stats)
+
+    from repro.baselines.vax.assembler import assemble_vax
+    from repro.cc.ciscgen import generate_cisc_assembly
+
+    asm = generate_cisc_assembly(ir_program)
+    program = assemble_vax(asm)
+    return CompiledProgram("cisc", asm, program, ir_program, None)
+
+
+def run_compiled(compiled: CompiledProgram, max_instructions: int = 200_000_000):
+    """Execute a compiled program on its target's simulator."""
+    if compiled.target == "risc1":
+        from repro.core.cpu import CPU
+
+        cpu = CPU()
+        cpu.load(compiled.program)
+        return cpu.run(max_instructions=max_instructions)
+
+    from repro.baselines.vax.cpu import VaxCPU
+
+    cpu = VaxCPU()
+    cpu.load(compiled.program)
+    return cpu.run(max_instructions=max_instructions)

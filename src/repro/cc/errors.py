@@ -1,0 +1,11 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A lexical, syntactic or semantic error in mini-C source."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)

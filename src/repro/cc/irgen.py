@@ -1,0 +1,557 @@
+"""AST to IR lowering.
+
+Performs constant folding, strength reduction of multiplications by powers
+of two, pointer-arithmetic scaling, short-circuit lowering of ``&&``/``||``
+into control flow, and array/pointer access lowering to explicit loads and
+stores.  Multiplication, division and modulo survive as IR operations; each
+backend decides whether they are hardware (VAX) or runtime calls (RISC I,
+which has no multiply instruction — the paper's machine relied on software
+routines).
+"""
+
+from __future__ import annotations
+
+from repro.cc import ast_nodes as ast
+from repro.cc import ir
+from repro.cc.errors import CompileError
+from repro.cc.sema import Analyzer, ProgramInfo, VarInfo
+
+_COMPOUND_BASE = {
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "&=": "&",
+    "|=": "|",
+    "^=": "^",
+    "<<=": "<<",
+    ">>=": ">>",
+}
+
+_WORD = 0xFFFFFFFF
+
+
+def _wrap(value: int) -> int:
+    """Wrap a Python int to a signed 32-bit value (two's complement)."""
+    value &= _WORD
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _fold(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return _wrap(a + b)
+    if op == "-":
+        return _wrap(a - b)
+    if op == "*":
+        return _wrap(a * b)
+    if op == "/":
+        if b == 0:
+            raise CompileError("division by zero in constant expression")
+        return _wrap(int(a / b))  # C truncates toward zero
+    if op == "%":
+        if b == 0:
+            raise CompileError("modulo by zero in constant expression")
+        return _wrap(a - int(a / b) * b)
+    if op == "&":
+        return _wrap((a & _WORD) & (b & _WORD))
+    if op == "|":
+        return _wrap((a & _WORD) | (b & _WORD))
+    if op == "^":
+        return _wrap((a & _WORD) ^ (b & _WORD))
+    if op == "<<":
+        return _wrap((a & _WORD) << (b & 31))
+    if op == ">>":
+        return _wrap(a >> (b & 31))  # arithmetic shift on signed values
+    raise ValueError(op)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+class _LoopContext:
+    def __init__(self, break_label: str, continue_label: str):
+        self.break_label = break_label
+        self.continue_label = continue_label
+
+
+class IRGenerator:
+    def __init__(self, info: ProgramInfo, analyzer: Analyzer):
+        self.info = info
+        self.resolved = analyzer.resolved
+        self.program = ir.IRProgram()
+        self._func: ir.IRFunction | None = None
+        self._temp_count = 0
+        self._label_count = 0
+        self._loops: list[_LoopContext] = []
+        self._string_count = 0
+        self._string_labels: dict[str, str] = {}
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _emit(self, instr: ir.Instr) -> None:
+        assert self._func is not None
+        self._func.instrs.append(instr)
+
+    def _temp(self) -> ir.Temp:
+        temp = ir.Temp(self._temp_count)
+        self._temp_count += 1
+        return temp
+
+    def _label(self, hint: str = "L") -> str:
+        self._label_count += 1
+        assert self._func is not None
+        return f".{hint}_{self._func.name}_{self._label_count}"
+
+    def _intern_string(self, text: str) -> str:
+        if text not in self._string_labels:
+            self._string_count += 1
+            label = f"__str_{self._string_count}"
+            self._string_labels[text] = label
+            self.program.strings[label] = text
+        return self._string_labels[text]
+
+    def _as_temp(self, op: ir.Operand) -> ir.Temp:
+        """Force an operand into a temp (needed before mutation points)."""
+        if isinstance(op, ir.Temp):
+            return op
+        temp = self._temp()
+        if isinstance(op, int):
+            self._emit(ir.Const(temp, op))
+        else:
+            self._emit(ir.GetVar(temp, op))
+        return temp
+
+    # -- top level -----------------------------------------------------------------
+
+    def generate(self) -> ir.IRProgram:
+        for gvar in self.info.unit.globals:
+            self._gen_global(gvar)
+        for func in self.info.unit.functions:
+            if func.body is not None:  # prototypes generate no code
+                self._gen_function(func)
+        return self.program
+
+    def _gen_global(self, gvar: ast.GlobalVar) -> None:
+        var = self.info.globals[gvar.name]
+        gdef = ir.GlobalDef(var)
+        if gvar.init is not None:
+            if isinstance(gvar.init, ast.NumberLit):
+                gdef.init_value = gvar.init.value
+            elif (
+                isinstance(gvar.init, ast.Unary)
+                and gvar.init.op == "-"
+                and isinstance(gvar.init.operand, ast.NumberLit)
+            ):
+                gdef.init_value = _wrap(-gvar.init.operand.value)
+            elif isinstance(gvar.init, ast.StringLit):
+                gdef.init_string = self._intern_string(gvar.init.value)
+            else:
+                raise CompileError(
+                    f"unsupported global initializer for {gvar.name!r}", gvar.line
+                )
+        self.program.globals.append(gdef)
+
+    def _gen_function(self, func: ast.FuncDef) -> None:
+        info = self.info.functions[func.name]
+        self._func = ir.IRFunction(func.name, params=info.params, locals=info.locals)
+        self._func.is_leaf = not info.makes_calls
+        self._temp_count = 0
+        self._label_count = 0
+        self._gen_stmt(func.body)
+        # implicit return: main returns 0, void functions just return
+        instrs = self._func.instrs
+        if not instrs or not isinstance(instrs[-1], ir.Ret):
+            self._emit(ir.Ret(0 if func.name == "main" else None))
+        self._func.num_temps = self._temp_count
+        self.program.functions.append(self._func)
+        self._func = None
+
+    # -- statements --------------------------------------------------------------
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for sub in stmt.body:
+                self._gen_stmt(sub)
+        elif isinstance(stmt, ast.Decl):
+            self._gen_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, (ast.Assign, ast.IncDec)):
+                self._emit(ir.Marker("assignment"))
+            self._gen_expr(stmt.expr, need=False)
+        elif isinstance(stmt, ast.If):
+            self._emit(ir.Marker("if"))
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._emit(ir.Marker("return"))
+            value = None
+            if stmt.value is not None:
+                value = self._gen_expr(stmt.value)
+            self._emit(ir.Ret(value))
+        elif isinstance(stmt, ast.Break):
+            self._emit(ir.Jump(self._loops[-1].break_label))
+        elif isinstance(stmt, ast.Continue):
+            self._emit(ir.Jump(self._loops[-1].continue_label))
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _gen_decl(self, decl: ast.Decl) -> None:
+        var = self.resolved[id(decl)]
+        if decl.init is not None:
+            self._emit(ir.Marker("assignment"))
+            value = self._gen_expr(decl.init)
+            self._emit(ir.SetVar(var, value))
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        else_label = self._label("else")
+        end_label = self._label("endif") if stmt.otherwise else else_label
+        self._gen_branch(stmt.cond, else_label, when_true=False)
+        self._gen_stmt(stmt.then)
+        if stmt.otherwise:
+            self._emit(ir.Jump(end_label))
+            self._emit(ir.Label(else_label))
+            self._gen_stmt(stmt.otherwise)
+        self._emit(ir.Label(end_label))
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        top = self._label("while")
+        end = self._label("endwhile")
+        self._emit(ir.Label(top))
+        self._emit(ir.Marker("loop"))
+        self._gen_branch(stmt.cond, end, when_true=False)
+        self._loops.append(_LoopContext(end, top))
+        self._gen_stmt(stmt.body)
+        self._loops.pop()
+        self._emit(ir.Jump(top))
+        self._emit(ir.Label(end))
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        top = self._label("do")
+        cond = self._label("docond")
+        end = self._label("enddo")
+        self._emit(ir.Label(top))
+        self._loops.append(_LoopContext(end, cond))
+        self._gen_stmt(stmt.body)
+        self._loops.pop()
+        self._emit(ir.Label(cond))
+        self._emit(ir.Marker("loop"))
+        self._gen_branch(stmt.cond, top, when_true=True)
+        self._emit(ir.Label(end))
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        top = self._label("for")
+        step = self._label("forstep")
+        end = self._label("endfor")
+        if stmt.init:
+            self._gen_stmt(stmt.init)
+        self._emit(ir.Label(top))
+        self._emit(ir.Marker("loop"))
+        if stmt.cond:
+            self._gen_branch(stmt.cond, end, when_true=False)
+        self._loops.append(_LoopContext(end, step))
+        self._gen_stmt(stmt.body)
+        self._loops.pop()
+        self._emit(ir.Label(step))
+        if stmt.step:
+            self._gen_expr(stmt.step, need=False)
+        self._emit(ir.Jump(top))
+        self._emit(ir.Label(end))
+
+    # -- conditions -----------------------------------------------------------------
+
+    def _gen_branch(self, cond: ast.Expr, target: str, when_true: bool) -> None:
+        """Emit code that jumps to ``target`` iff ``cond`` equals ``when_true``."""
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._gen_branch(cond.operand, target, not when_true)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in ("&&", "||"):
+            self._gen_shortcircuit_branch(cond, target, when_true)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in ir.REL_OPS:
+            a = self._gen_expr(cond.left)
+            b = self._gen_expr(cond.right)
+            op = cond.op if when_true else ir.INVERT_REL[cond.op]
+            if isinstance(a, int) and isinstance(b, int):
+                holds = _fold_rel(op, a, b)
+                if holds:
+                    self._emit(ir.Jump(target))
+                return
+            self._emit(ir.CBranch(op, a, b, target))
+            return
+        value = self._gen_expr(cond)
+        if isinstance(value, int):
+            if bool(value) == when_true:
+                self._emit(ir.Jump(target))
+            return
+        op = "!=" if when_true else "=="
+        self._emit(ir.CBranch(op, value, 0, target))
+
+    def _gen_shortcircuit_branch(
+        self, cond: ast.Binary, target: str, when_true: bool
+    ) -> None:
+        if cond.op == "&&":
+            if when_true:
+                skip = self._label("and")
+                self._gen_branch(cond.left, skip, when_true=False)
+                self._gen_branch(cond.right, target, when_true=True)
+                self._emit(ir.Label(skip))
+            else:
+                self._gen_branch(cond.left, target, when_true=False)
+                self._gen_branch(cond.right, target, when_true=False)
+        else:  # ||
+            if when_true:
+                self._gen_branch(cond.left, target, when_true=True)
+                self._gen_branch(cond.right, target, when_true=True)
+            else:
+                skip = self._label("or")
+                self._gen_branch(cond.left, skip, when_true=True)
+                self._gen_branch(cond.right, target, when_true=False)
+                self._emit(ir.Label(skip))
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _gen_expr(self, expr: ast.Expr, need: bool = True) -> ir.Operand:
+        if isinstance(expr, ast.NumberLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            label = self._intern_string(expr.value)
+            var = VarInfo(label, expr.type, is_global=True)
+            temp = self._temp()
+            self._emit(ir.AddrVar(temp, var))
+            return temp
+        if isinstance(expr, ast.VarRef):
+            return self._gen_varref(expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr, need)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr, need)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr, need)
+        if isinstance(expr, ast.Index):
+            addr, offset, element = self._gen_lvalue(expr)
+            temp = self._temp()
+            signed = element.base is ast.BaseType.CHAR and not element.is_pointer
+            self._emit(ir.Load(temp, addr, element.width, signed=signed, offset=offset))
+            return temp
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, need)
+        raise CompileError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def _gen_varref(self, expr: ast.VarRef) -> ir.Operand:
+        var = self.resolved[id(expr)]
+        if var.type.is_array:
+            temp = self._temp()
+            self._emit(ir.AddrVar(temp, var))
+            return temp
+        return var
+
+    def _gen_unary(self, expr: ast.Unary) -> ir.Operand:
+        if expr.op == "&":
+            addr, offset, _ = self._gen_lvalue(expr.operand)
+            if offset:
+                temp = self._temp()
+                self._emit(ir.BinOp(temp, "+", addr, offset))
+                return temp
+            return addr
+        if expr.op == "*":
+            addr, offset, element = self._gen_lvalue(expr)
+            temp = self._temp()
+            signed = element.base is ast.BaseType.CHAR and not element.is_pointer
+            self._emit(ir.Load(temp, addr, element.width, signed=signed, offset=offset))
+            return temp
+        operand = self._gen_expr(expr.operand)
+        if isinstance(operand, int):
+            if expr.op == "-":
+                return _wrap(-operand)
+            if expr.op == "~":
+                return _wrap(~operand)
+            return int(not operand)
+        temp = self._temp()
+        kind = {"-": "neg", "~": "bnot", "!": "lnot"}[expr.op]
+        self._emit(ir.UnOp(temp, kind, operand))
+        return temp
+
+    def _gen_binary(self, expr: ast.Binary, need: bool) -> ir.Operand:
+        if expr.op in ("&&", "||") or expr.op in ir.REL_OPS:
+            return self._materialize_bool(expr, need)
+        left_type = expr.left.type.decay() if expr.left.type else ast.INT
+        right_type = expr.right.type.decay() if expr.right.type else ast.INT
+        a = self._gen_expr(expr.left)
+        b = self._gen_expr(expr.right)
+
+        # pointer arithmetic scaling
+        if expr.op in ("+", "-"):
+            if left_type.is_pointer and not right_type.is_pointer:
+                b = self._scale(b, left_type.element.width)
+            elif right_type.is_pointer and not left_type.is_pointer:
+                a = self._scale(a, right_type.element.width)
+            elif left_type.is_pointer and right_type.is_pointer and expr.op == "-":
+                diff = self._binop("-", a, b)
+                return self._unscale(diff, left_type.element.width)
+        return self._binop(expr.op, a, b)
+
+    def _binop(self, op: str, a: ir.Operand, b: ir.Operand) -> ir.Operand:
+        if isinstance(a, int) and isinstance(b, int):
+            return _fold(op, a, b)
+        # strength-reduce multiply by power of two into a shift
+        if op == "*":
+            if isinstance(b, int) and _is_power_of_two(b):
+                op, b = "<<", b.bit_length() - 1
+            elif isinstance(a, int) and _is_power_of_two(a):
+                op, a, b = "<<", b, a.bit_length() - 1
+        # algebraic identities
+        if op in ("+", "|", "^") and b == 0 and not isinstance(b, ir.Temp):
+            if isinstance(a, ir.Temp):
+                return a
+        temp = self._temp()
+        self._emit(ir.BinOp(temp, op, a, b))
+        return temp
+
+    def _scale(self, op: ir.Operand, width: int) -> ir.Operand:
+        if width == 1:
+            return op
+        return self._binop("*", op, width)
+
+    def _unscale(self, op: ir.Operand, width: int) -> ir.Operand:
+        if width == 1:
+            return op
+        return self._binop(">>", op, width.bit_length() - 1)
+
+    def _materialize_bool(self, expr: ast.Binary, need: bool) -> ir.Operand:
+        if not need:
+            # evaluate for side effects only
+            self._gen_expr(expr.left, need=False)
+            self._gen_expr(expr.right, need=False)
+            return 0
+        if expr.op in ir.REL_OPS:
+            a = self._gen_expr(expr.left)
+            b = self._gen_expr(expr.right)
+            if isinstance(a, int) and isinstance(b, int):
+                return int(_fold_rel(expr.op, a, b))
+            temp = self._temp()
+            self._emit(ir.SetCmp(temp, expr.op, a, b))
+            return temp
+        # && / || as a value: lower through control flow
+        temp = self._temp()
+        false_label = self._label("bfalse")
+        end_label = self._label("bend")
+        self._gen_branch(expr, false_label, when_true=False)
+        self._emit(ir.Const(temp, 1))
+        self._emit(ir.Jump(end_label))
+        self._emit(ir.Label(false_label))
+        self._emit(ir.Const(temp, 0))
+        self._emit(ir.Label(end_label))
+        return temp
+
+    # -- lvalues ------------------------------------------------------------------
+
+    def _gen_lvalue(self, expr: ast.Expr) -> tuple[ir.Operand, int, ast.Type]:
+        """Return (address operand, constant offset, element type)."""
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            operand_type = expr.operand.type.decay()
+            addr = self._gen_expr(expr.operand)
+            return addr, 0, operand_type.element
+        if isinstance(expr, ast.Index):
+            base_type = expr.base.type
+            element = base_type.element
+            base = self._gen_expr(expr.base)  # array decays to address
+            index = self._gen_expr(expr.index)
+            if isinstance(index, int):
+                return base, index * element.width, element
+            scaled = self._scale(index, element.width)
+            addr = self._binop("+", base, scaled)
+            return addr, 0, element
+        if isinstance(expr, ast.VarRef):
+            var = self.resolved[id(expr)]
+            temp = self._temp()
+            self._emit(ir.AddrVar(temp, var))
+            return temp, 0, var.type if not var.type.is_array else var.type.element
+        raise CompileError("expression is not an lvalue", expr.line)
+
+    # -- assignment ----------------------------------------------------------------
+
+    def _gen_assign(self, expr: ast.Assign, need: bool) -> ir.Operand:
+        target = expr.target
+        if expr.op == "=":
+            value = self._gen_expr(expr.value)
+        else:
+            current = self._gen_expr(target)
+            rhs = self._gen_expr(expr.value)
+            op = _COMPOUND_BASE[expr.op]
+            target_type = target.type.decay() if target.type else ast.INT
+            if target_type.is_pointer and op in ("+", "-"):
+                rhs = self._scale(rhs, target_type.element.width)
+            value = self._binop(op, current, rhs)
+
+        if isinstance(target, ast.VarRef):
+            var = self.resolved[id(target)]
+            if not var.type.is_array:
+                self._emit(ir.SetVar(var, value))
+                return value
+        addr, offset, element = self._gen_lvalue(target)
+        self._emit(ir.Store(addr, value, element.width, offset=offset))
+        return value
+
+    def _gen_incdec(self, expr: ast.IncDec, need: bool) -> ir.Operand:
+        target_type = expr.target.type
+        delta = 1
+        if target_type and target_type.is_pointer:
+            delta = target_type.element.width
+        op = "+" if expr.op == "++" else "-"
+
+        if isinstance(expr.target, ast.VarRef):
+            var = self.resolved[id(expr.target)]
+            old = None
+            if need and not expr.prefix:
+                old = self._as_temp(var)
+            new = self._binop(op, var, delta)
+            self._emit(ir.SetVar(var, new))
+            if need:
+                return old if old is not None else new
+            return 0
+        # memory lvalue
+        addr, offset, element = self._gen_lvalue(expr.target)
+        addr = self._as_temp(addr)
+        old = self._temp()
+        signed = element.base is ast.BaseType.CHAR and not element.is_pointer
+        self._emit(ir.Load(old, addr, element.width, signed=signed, offset=offset))
+        new = self._binop(op, old, delta)
+        self._emit(ir.Store(addr, new, element.width, offset=offset))
+        if need:
+            return new if expr.prefix else old
+        return 0
+
+    # -- calls --------------------------------------------------------------------
+
+    def _gen_call(self, expr: ast.Call, need: bool) -> ir.Operand:
+        self._emit(ir.Marker("call"))
+        args = [self._gen_expr(arg) for arg in expr.args]
+        returns_value = expr.type is not None and expr.type != ast.VOID
+        dst = self._temp() if (need and returns_value) else None
+        self._emit(ir.Call(dst, expr.name, args))
+        return dst if dst is not None else 0
+
+
+def _fold_rel(op: str, a: int, b: int) -> bool:
+    return {
+        "==": a == b,
+        "!=": a != b,
+        "<": a < b,
+        "<=": a <= b,
+        ">": a > b,
+        ">=": a >= b,
+    }[op]
+
+
+def generate_ir(info: ProgramInfo, analyzer: Analyzer) -> ir.IRProgram:
+    """Lower an analyzed translation unit to IR."""
+    return IRGenerator(info, analyzer).generate()

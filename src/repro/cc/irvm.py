@@ -1,0 +1,339 @@
+"""IR interpreter.
+
+Executes an :class:`repro.cc.ir.IRProgram` directly, with two jobs:
+
+1. **Compiler oracle** — differential testing runs the same program through
+   the IR interpreter, the RISC I backend and the CISC backend and demands
+   identical output.
+2. **Dynamic operation counts** — the M68000/Z8002 baseline estimators
+   (:mod:`repro.baselines.estimators`) multiply the per-IR-operation
+   execution counts gathered here by published per-operation cycle costs.
+
+The interpreter gives globals, strings and stack frames real addresses in
+a flat byte array so pointer arithmetic behaves exactly as on the
+simulated machines (big-endian, like the rest of the reproduction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.cc import ir
+from repro.cc.errors import CompileError
+from repro.cc.sema import VarInfo
+
+WORD = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= WORD
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+@dataclasses.dataclass
+class IRCounts:
+    """Dynamic execution profile of one IR-level run."""
+
+    #: operation key -> executed count.  Keys: "binop:+", "load:4",
+    #: "store:1", "call", "ret", "branch", "jump", "const", "move",
+    #: "getvar", "setvar", "addrvar", "setcmp", "unop"
+    ops: Counter = dataclasses.field(default_factory=Counter)
+    calls: int = 0
+    max_depth: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.ops.values())
+
+
+@dataclasses.dataclass
+class IRResult:
+    exit_code: int
+    output: str
+    counts: IRCounts
+
+
+class _Frame:
+    def __init__(self):
+        self.temps: dict[ir.Temp, int] = {}
+        self.vars: dict[VarInfo, int] = {}  # register-like scalar storage
+        self.addresses: dict[VarInfo, int] = {}  # stack-resident storage
+
+
+class _Return(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class IRInterpreter:
+    def __init__(self, program: ir.IRProgram, memory_size: int = 1 << 20):
+        self.program = program
+        self.memory = bytearray(memory_size)
+        self.counts = IRCounts()
+        self._console: list[str] = []
+        self._sp = memory_size - 16
+        self._depth = 0
+        self._globals: dict[str, int] = {}
+        self._functions = {f.name: f for f in program.functions}
+        self._layout_globals()
+
+    # -- memory ----------------------------------------------------------------
+
+    def _read(self, address: int, width: int, signed: bool) -> int:
+        raw = int.from_bytes(self.memory[address : address + width], "big")
+        if signed:
+            top = 1 << (width * 8 - 1)
+            raw = (raw & (top - 1)) - (raw & top)
+        return raw & WORD
+
+    def _write(self, address: int, value: int, width: int) -> None:
+        self.memory[address : address + width] = (value & ((1 << (8 * width)) - 1)).to_bytes(
+            width, "big"
+        )
+
+    def _layout_globals(self) -> None:
+        cursor = 0x1000
+        for gdef in self.program.globals:
+            cursor = (cursor + 3) & ~3
+            self._globals[gdef.var.name] = cursor
+            cursor += (gdef.var.type.size + 3) & ~3
+        string_addresses: dict[str, int] = {}
+        for label, text in self.program.strings.items():
+            string_addresses[label] = cursor
+            data = text.encode("latin-1") + b"\0"
+            self.memory[cursor : cursor + len(data)] = data
+            cursor += (len(data) + 3) & ~3
+        self._globals.update(string_addresses)
+        for gdef in self.program.globals:
+            address = self._globals[gdef.var.name]
+            if gdef.init_string is not None:
+                self._write(address, string_addresses[gdef.init_string], 4)
+            elif gdef.init_value is not None:
+                self._write(address, gdef.init_value & WORD, 4)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> IRResult:
+        code = self._call("main", [])
+        return IRResult(_signed(code), "".join(self._console), self.counts)
+
+    def _call(self, name: str, args: list[int]) -> int:
+        if name == "putchar":
+            self._console.append(chr(args[0] & 0xFF))
+            return 0
+        if name == "putint":
+            self._console.append(str(_signed(args[0])))
+            return 0
+        if name == "puts":
+            address = args[0]
+            chars = []
+            while self.memory[address]:
+                chars.append(chr(self.memory[address]))
+                address += 1
+            self._console.append("".join(chars))
+            return 0
+        func = self._functions.get(name)
+        if func is None:
+            raise CompileError(f"irvm: call to unknown function {name!r}")
+        self.counts.calls += 1
+        self._depth += 1
+        self.counts.max_depth = max(self.counts.max_depth, self._depth)
+
+        frame = _Frame()
+        frame_base = self._sp
+        for var, value in zip(func.params, args):
+            self._place_var(frame, var)
+            self._set_var(frame, var, value)
+        for var in func.locals:
+            self._place_var(frame, var)
+
+        labels = {
+            instr.name: pos
+            for pos, instr in enumerate(func.instrs)
+            if isinstance(instr, ir.Label)
+        }
+        try:
+            pos = 0
+            while pos < len(func.instrs):
+                target = self._exec(func.instrs[pos], frame, labels)
+                pos = target if target is not None else pos + 1
+            return 0
+        except _Return as ret:
+            return ret.value
+        finally:
+            self._sp = frame_base
+            self._depth -= 1
+
+    def _place_var(self, frame: _Frame, var: VarInfo) -> None:
+        if var.addressed or var.type.is_array:
+            size = (var.type.size + 3) & ~3
+            self._sp -= size
+            frame.addresses[var] = self._sp
+        else:
+            frame.vars[var] = 0
+
+    # -- operand evaluation ------------------------------------------------------
+
+    def _value(self, op: ir.Operand, frame: _Frame) -> int:
+        if isinstance(op, int):
+            return op & WORD
+        if isinstance(op, ir.Temp):
+            return frame.temps[op]
+        return self._get_var(frame, op)
+
+    def _get_var(self, frame: _Frame, var: VarInfo) -> int:
+        if var in frame.vars:
+            return frame.vars[var]
+        if var in frame.addresses:
+            return self._read(frame.addresses[var], 4, signed=False)
+        if var.name in self._globals:
+            return self._read(self._globals[var.name], 4, signed=False)
+        raise CompileError(f"irvm: unknown variable {var.name!r}")
+
+    def _set_var(self, frame: _Frame, var: VarInfo, value: int) -> None:
+        value &= WORD
+        if var in frame.vars:
+            frame.vars[var] = value
+        elif var in frame.addresses:
+            self._write(frame.addresses[var], value, 4)
+        elif var.name in self._globals:
+            self._write(self._globals[var.name], value, 4)
+        else:
+            raise CompileError(f"irvm: unknown variable {var.name!r}")
+
+    def _address_of(self, var: VarInfo, frame: _Frame) -> int:
+        if var in frame.addresses:
+            return frame.addresses[var]
+        if var.name in self._globals:
+            return self._globals[var.name]
+        raise CompileError(f"irvm: address of register variable {var.name!r}")
+
+    # -- instruction dispatch ---------------------------------------------------------
+
+    def _exec(self, instr: ir.Instr, frame: _Frame, labels: dict[str, int]) -> int | None:
+        counts = self.counts.ops
+        if isinstance(instr, ir.Label):
+            return None
+        if isinstance(instr, ir.Marker):
+            counts[f"stmt:{instr.kind}"] += 1
+            return None
+        if isinstance(instr, ir.Const):
+            counts["const"] += 1
+            frame.temps[instr.dst] = instr.value & WORD
+            return None
+        if isinstance(instr, ir.Move):
+            counts["move"] += 1
+            frame.temps[instr.dst] = self._value(instr.src, frame)
+            return None
+        if isinstance(instr, ir.GetVar):
+            counts["getvar"] += 1
+            frame.temps[instr.dst] = self._get_var(frame, instr.var)
+            return None
+        if isinstance(instr, ir.SetVar):
+            counts["setvar"] += 1
+            self._set_var(frame, instr.var, self._value(instr.src, frame))
+            return None
+        if isinstance(instr, ir.AddrVar):
+            counts["addrvar"] += 1
+            frame.temps[instr.dst] = self._address_of(instr.var, frame)
+            return None
+        if isinstance(instr, ir.UnOp):
+            counts["unop"] += 1
+            value = self._value(instr.src, frame)
+            if instr.op == "neg":
+                result = -value
+            elif instr.op == "bnot":
+                result = ~value
+            else:
+                result = int(value == 0)
+            frame.temps[instr.dst] = result & WORD
+            return None
+        if isinstance(instr, ir.BinOp):
+            counts[f"binop:{instr.op}"] += 1
+            frame.temps[instr.dst] = self._binop(
+                instr.op, self._value(instr.a, frame), self._value(instr.b, frame)
+            )
+            return None
+        if isinstance(instr, ir.SetCmp):
+            counts["setcmp"] += 1
+            a = _signed(self._value(instr.a, frame))
+            b = _signed(self._value(instr.b, frame))
+            frame.temps[instr.dst] = int(_REL[instr.op](a, b))
+            return None
+        if isinstance(instr, ir.Load):
+            counts[f"load:{instr.width}"] += 1
+            address = (self._value(instr.addr, frame) + instr.offset) & WORD
+            frame.temps[instr.dst] = self._read(address, instr.width, instr.signed)
+            return None
+        if isinstance(instr, ir.Store):
+            counts[f"store:{instr.width}"] += 1
+            address = (self._value(instr.addr, frame) + instr.offset) & WORD
+            self._write(address, self._value(instr.src, frame), instr.width)
+            return None
+        if isinstance(instr, ir.Call):
+            counts["call"] += 1
+            args = [self._value(a, frame) for a in instr.args]
+            result = self._call(instr.name, args)
+            if instr.dst is not None:
+                frame.temps[instr.dst] = result & WORD
+            return None
+        if isinstance(instr, ir.Jump):
+            counts["jump"] += 1
+            return labels[instr.target]
+        if isinstance(instr, ir.CBranch):
+            counts["branch"] += 1
+            a = _signed(self._value(instr.a, frame))
+            b = _signed(self._value(instr.b, frame))
+            if _REL[instr.op](a, b):
+                return labels[instr.target]
+            return None
+        if isinstance(instr, ir.Ret):
+            counts["ret"] += 1
+            value = self._value(instr.src, frame) if instr.src is not None else 0
+            raise _Return(value)
+        raise CompileError(f"irvm: unhandled IR {type(instr).__name__}")
+
+    @staticmethod
+    def _binop(op: str, a: int, b: int) -> int:
+        sa, sb = _signed(a), _signed(b)
+        if op == "+":
+            return (a + b) & WORD
+        if op == "-":
+            return (a - b) & WORD
+        if op == "*":
+            return (sa * sb) & WORD
+        if op == "/":
+            if sb == 0:
+                raise CompileError("irvm: division by zero")
+            return int(sa / sb) & WORD
+        if op == "%":
+            if sb == 0:
+                raise CompileError("irvm: modulo by zero")
+            return (sa - int(sa / sb) * sb) & WORD
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<":
+            return (a << (b & 31)) & WORD
+        if op == ">>":
+            return (sa >> (b & 31)) & WORD
+        raise CompileError(f"irvm: unknown operator {op!r}")
+
+
+_REL = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def run_ir(program: ir.IRProgram) -> IRResult:
+    """Execute an IR program and return its result and dynamic profile."""
+    return IRInterpreter(program).run()

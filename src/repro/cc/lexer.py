@@ -1,0 +1,198 @@
+"""Lexer for the mini-C dialect."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.cc.errors import CompileError
+
+KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "return",
+    "break",
+    "continue",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    CHAR = "char literal"
+    STRING = "string literal"
+    KEYWORD = "keyword"
+    OP = "operator"
+    EOF = "end of input"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    value: int = 0  # numeric value for NUMBER/CHAR tokens
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn mini-C source text into a token list ending with EOF."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = length if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            i = _lex_number(source, i, line, tokens)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch == "'":
+            i = _lex_char(source, i, line, tokens)
+            continue
+        if ch == '"':
+            i = _lex_string(source, i, line, tokens)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(TokenKind.EOF, "", line))
+    return tokens
+
+
+def _lex_number(source: str, i: int, line: int, tokens: list[Token]) -> int:
+    start = i
+    if source.startswith(("0x", "0X"), i):
+        i += 2
+        while i < len(source) and source[i] in "0123456789abcdefABCDEF":
+            i += 1
+        value = int(source[start:i], 16)
+    else:
+        while i < len(source) and source[i].isdigit():
+            i += 1
+        value = int(source[start:i])
+    tokens.append(Token(TokenKind.NUMBER, source[start:i], line, value=value))
+    return i
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+def _lex_char(source: str, i: int, line: int, tokens: list[Token]) -> int:
+    i += 1  # opening quote
+    if i >= len(source):
+        raise CompileError("unterminated character literal", line)
+    if source[i] == "\\":
+        if i + 1 >= len(source) or source[i + 1] not in _ESCAPES:
+            raise CompileError("bad escape in character literal", line)
+        ch = _ESCAPES[source[i + 1]]
+        i += 2
+    else:
+        ch = source[i]
+        i += 1
+    if i >= len(source) or source[i] != "'":
+        raise CompileError("unterminated character literal", line)
+    tokens.append(Token(TokenKind.CHAR, ch, line, value=ord(ch)))
+    return i + 1
+
+
+def _lex_string(source: str, i: int, line: int, tokens: list[Token]) -> int:
+    i += 1
+    chars: list[str] = []
+    while i < len(source) and source[i] != '"':
+        if source[i] == "\n":
+            raise CompileError("newline in string literal", line)
+        if source[i] == "\\":
+            if i + 1 >= len(source) or source[i + 1] not in _ESCAPES:
+                raise CompileError("bad escape in string literal", line)
+            chars.append(_ESCAPES[source[i + 1]])
+            i += 2
+        else:
+            chars.append(source[i])
+            i += 1
+    if i >= len(source):
+        raise CompileError("unterminated string literal", line)
+    tokens.append(Token(TokenKind.STRING, "".join(chars), line))
+    return i + 1

@@ -1,0 +1,451 @@
+"""RISC I code generator.
+
+Lowering decisions, in the spirit of the paper's own (simple) C compiler:
+
+* scalar locals whose address is never taken live in LOCAL registers
+  (r16..); expression temporaries take the remaining LOCAL registers, with
+  linear-scan spilling to the frame when they run out;
+* incoming parameters stay in the HIGH registers (r26..r30) they arrive in;
+  up to five register parameters are supported;
+* arrays and address-taken variables live in the stack frame (SP = r1);
+* multiplication/division/modulo call the runtime routines of
+  :mod:`repro.cc.runtime` (RISC I has no multiply hardware);
+* the epilogue deallocates the frame *in the RETURN delay slot* — the stack
+  pointer is a GLOBAL register, so that slot is window-safe;
+* delay-slot filling and peephole cleanup run afterwards in
+  :mod:`repro.cc.delay`.
+"""
+
+from __future__ import annotations
+
+from repro.cc import ir
+from repro.cc.errors import CompileError
+from repro.cc.regalloc import allocate
+from repro.cc.sema import VarInfo
+from repro.isa.encoding import S2_MAX, S2_MIN
+
+#: Maximum register arguments (LOW r10..r14; r15 backs the return address).
+MAX_ARGS = 5
+
+_BINOP_MNEMONIC = {
+    "+": "add",
+    "-": "sub",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "sll",
+    ">>": "sra",
+}
+_RUNTIME_BINOP = {"*": "__mul", "/": "__div", "%": "__mod"}
+_REL_COND = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+_LOAD_MNEMONIC = {(4, False): "ldl", (4, True): "ldl", (2, False): "ldsu", (2, True): "ldss", (1, False): "ldbu", (1, True): "ldbs"}
+_STORE_MNEMONIC = {4: "stl", 2: "sts", 1: "stb"}
+
+
+def _fits(value: int) -> bool:
+    return S2_MIN <= value <= S2_MAX
+
+
+class _FunctionCodegen:
+    """Emits one function's assembly lines."""
+
+    def __init__(self, func: ir.IRFunction, used_runtime: set[str]):
+        self.func = func
+        self.used_runtime = used_runtime
+        self.lines: list[str] = []
+        self.var_reg: dict[VarInfo, int] = {}
+        self.var_slot: dict[VarInfo, int] = {}
+        self._label_count = 0
+        self.frame_size = 0
+        self._place_variables()
+
+    # -- placement --------------------------------------------------------
+
+    def _place_variables(self) -> None:
+        func = self.func
+        if len(func.params) > MAX_ARGS:
+            raise CompileError(
+                f"{func.name}: more than {MAX_ARGS} parameters is not supported "
+                "by the RISC I register-window convention"
+            )
+        offset = 0
+
+        def stack_slot(size: int) -> int:
+            nonlocal offset
+            size = (size + 3) & ~3
+            slot = offset
+            offset += size
+            return slot
+
+        for i, param in enumerate(func.params):
+            if param.addressed:
+                self.var_slot[param] = stack_slot(4)
+            else:
+                self.var_reg[param] = 26 + i
+
+        reg_local_budget = 6  # r16..r21; the rest of LOCAL is the temp pool
+        next_reg = 16
+        for var in func.locals:
+            register_ok = (
+                not var.addressed
+                and not var.type.is_array
+                and next_reg < 16 + reg_local_budget
+            )
+            if register_ok:
+                self.var_reg[var] = next_reg
+                next_reg += 1
+            else:
+                self.var_slot[var] = stack_slot(var.type.size)
+
+        pool = list(range(next_reg, 26))
+        self.alloc = allocate(func.instrs, pool)
+        self.spill_base = offset
+        offset += 4 * self.alloc.num_spill_slots
+        self.frame_size = (offset + 7) & ~7
+
+    # -- emission helpers ------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def _local_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f".{hint}_{self.func.name}_{self._label_count}"
+
+    # -- operand access -----------------------------------------------------------
+
+    def value_reg(self, op: ir.Operand, scratch: str) -> str:
+        """Return a register holding ``op``'s value, emitting code if needed."""
+        if isinstance(op, ir.Temp):
+            if op in self.alloc.registers:
+                return f"r{self.alloc.registers[op]}"
+            slot = self.spill_base + 4 * self.alloc.spills[op]
+            self.emit(f"ldl {scratch}, {slot}(r1)")
+            return scratch
+        if isinstance(op, int):
+            if op == 0:
+                return "r0"
+            if _fits(op):
+                self.emit(f"add {scratch}, r0, #{op}")
+            else:
+                self.emit(f"set {scratch}, #{op}")
+            return scratch
+        # VarInfo
+        if op in self.var_reg:
+            return f"r{self.var_reg[op]}"
+        if op in self.var_slot:
+            self.emit(f"ldl {scratch}, {self.var_slot[op]}(r1)")
+            return scratch
+        # global scalar
+        self.emit(f"set {scratch}, {op.name}")
+        self.emit(f"ldl {scratch}, 0({scratch})")
+        return scratch
+
+    def dest_reg(self, dst: ir.Temp) -> str:
+        """Register the result of ``dst`` should be computed into."""
+        if dst in self.alloc.registers:
+            return f"r{self.alloc.registers[dst]}"
+        return "r9"
+
+    def commit(self, dst: ir.Temp, reg: str) -> None:
+        """Store a spilled temp's value from its staging register."""
+        if dst in self.alloc.spills:
+            slot = self.spill_base + 4 * self.alloc.spills[dst]
+            self.emit(f"stl {reg}, {slot}(r1)")
+
+    def move_to(self, target: str, op: ir.Operand) -> None:
+        """Materialize ``op``'s value directly into register ``target``."""
+        if isinstance(op, int):
+            if op == 0:
+                self.emit(f"add {target}, r0, #0")
+            elif _fits(op):
+                self.emit(f"add {target}, r0, #{op}")
+            else:
+                self.emit(f"set {target}, #{op}")
+            return
+        source = self.value_reg(op, scratch=target if target not in ("r1",) else "r9")
+        if source != target:
+            self.emit(f"add {target}, {source}, #0")
+
+    def _s2_operand(self, op: ir.Operand, scratch: str) -> str:
+        """Second ALU operand: immediate text if it fits, else a register."""
+        if isinstance(op, int) and _fits(op):
+            return f"#{op}"
+        return self.value_reg(op, scratch)
+
+    # -- instruction emission ----------------------------------------------------
+
+    def generate(self) -> list[str]:
+        func = self.func
+        self.emit_label(func.name)
+        if self.frame_size:
+            self.emit(f"add r1, r1, #-{self.frame_size}")
+        for i, param in enumerate(func.params):
+            if param in self.var_slot:
+                self.emit(f"stl r{26 + i}, {self.var_slot[param]}(r1)")
+        for instr in func.instrs:
+            self._gen(instr)
+        return self.lines
+
+    def _gen(self, instr: ir.Instr) -> None:
+        if isinstance(instr, ir.Marker):
+            return  # statement markers are profiling-only
+        if isinstance(instr, ir.Label):
+            self.emit_label(instr.name)
+        elif isinstance(instr, ir.Const):
+            reg = self.dest_reg(instr.dst)
+            self.move_to(reg, instr.value)
+            self.commit(instr.dst, reg)
+        elif isinstance(instr, ir.Move):
+            reg = self.dest_reg(instr.dst)
+            self.move_to(reg, instr.src)
+            self.commit(instr.dst, reg)
+        elif isinstance(instr, ir.GetVar):
+            reg = self.dest_reg(instr.dst)
+            self.move_to(reg, instr.var)
+            self.commit(instr.dst, reg)
+        elif isinstance(instr, ir.SetVar):
+            self._gen_setvar(instr)
+        elif isinstance(instr, ir.AddrVar):
+            self._gen_addrvar(instr)
+        elif isinstance(instr, ir.UnOp):
+            self._gen_unop(instr)
+        elif isinstance(instr, ir.BinOp):
+            self._gen_binop(instr)
+        elif isinstance(instr, ir.SetCmp):
+            self._gen_setcmp(instr)
+        elif isinstance(instr, ir.Load):
+            self._gen_load(instr)
+        elif isinstance(instr, ir.Store):
+            self._gen_store(instr)
+        elif isinstance(instr, ir.Call):
+            self._gen_call(instr)
+        elif isinstance(instr, ir.Jump):
+            self.emit(f"jmp {instr.target}")
+            self.emit("nop")
+        elif isinstance(instr, ir.CBranch):
+            self._gen_cbranch(instr)
+        elif isinstance(instr, ir.Ret):
+            self._gen_ret(instr)
+        else:
+            raise CompileError(f"riscgen: unhandled IR {type(instr).__name__}")
+
+    def _gen_setvar(self, instr: ir.SetVar) -> None:
+        var = instr.var
+        if var in self.var_reg:
+            self.move_to(f"r{self.var_reg[var]}", instr.src)
+            return
+        value = self.value_reg(instr.src, "r9")
+        if var in self.var_slot:
+            self.emit(f"stl {value}, {self.var_slot[var]}(r1)")
+            return
+        self.emit(f"set r8, {var.name}")
+        self.emit(f"stl {value}, 0(r8)")
+
+    def _gen_addrvar(self, instr: ir.AddrVar) -> None:
+        reg = self.dest_reg(instr.dst)
+        var = instr.var
+        if var in self.var_slot:
+            self.emit(f"add {reg}, r1, #{self.var_slot[var]}")
+        elif var.is_global:
+            self.emit(f"set {reg}, {var.name}")
+        else:
+            raise CompileError(f"riscgen: address of register variable {var.name!r}")
+        self.commit(instr.dst, reg)
+
+    def _gen_unop(self, instr: ir.UnOp) -> None:
+        reg = self.dest_reg(instr.dst)
+        if instr.op == "lnot":
+            src = self.value_reg(instr.src, "r8")
+            self._emit_setcc_pattern(reg, "eq", src, "#0")
+        else:
+            src = self.value_reg(instr.src, "r8")
+            if instr.op == "neg":
+                self.emit(f"subr {reg}, {src}, #0")
+            else:  # bnot
+                self.emit(f"xor {reg}, {src}, #-1")
+        self.commit(instr.dst, reg)
+
+    def _gen_binop(self, instr: ir.BinOp) -> None:
+        if instr.op in _RUNTIME_BINOP:
+            self._gen_runtime_binop(instr)
+            return
+        reg = self.dest_reg(instr.dst)
+        a, b, op = instr.a, instr.b, instr.op
+        if isinstance(a, int) and op == "-":
+            # imm - reg: use the reverse-subtract instruction
+            b_reg = self.value_reg(b, "r8")
+            if _fits(a):
+                self.emit(f"subr {reg}, {b_reg}, #{a}")
+            else:
+                a_reg = self.value_reg(a, "r9")
+                self.emit(f"sub {reg}, {a_reg}, {b_reg}")
+            self.commit(instr.dst, reg)
+            return
+        if isinstance(a, int) and op in ("+", "&", "|", "^"):
+            a, b = b, a  # commutative: put the constant second
+        a_reg = self.value_reg(a, "r8")
+        s2 = self._s2_operand(b, "r9")
+        self.emit(f"{_BINOP_MNEMONIC[op]} {reg}, {a_reg}, {s2}")
+        self.commit(instr.dst, reg)
+
+    def _gen_runtime_binop(self, instr: ir.BinOp) -> None:
+        name = _RUNTIME_BINOP[instr.op]
+        self.used_runtime.add(name)
+        self.move_to("r10", instr.a)
+        self.move_to("r11", instr.b)
+        self.emit(f"call {name}")
+        self.emit("nop")
+        reg = self.dest_reg(instr.dst)
+        if reg != "r10":
+            self.emit(f"add {reg}, r10, #0")
+        self.commit(instr.dst, reg if reg != "r10" else "r10")
+
+    def _emit_setcc_pattern(self, reg: str, cond: str, a_reg: str, s2: str) -> None:
+        done = self._local_label("scc")
+        self.emit(f"sub! r0, {a_reg}, {s2}")
+        self.emit(f"add {reg}, r0, #1")
+        self.emit(f"j{cond} {done}")
+        self.emit("nop")
+        self.emit(f"add {reg}, r0, #0")
+        self.emit_label(done)
+
+    def _gen_setcmp(self, instr: ir.SetCmp) -> None:
+        reg = self.dest_reg(instr.dst)
+        op, a, b = instr.op, instr.a, instr.b
+        if isinstance(a, int) and not isinstance(b, int):
+            op, a, b = ir.SWAP_REL[op], b, a
+        a_reg = self.value_reg(a, "r8")
+        s2 = self._s2_operand(b, "r9")
+        self._emit_setcc_pattern(reg, _REL_COND[op], a_reg, s2)
+        self.commit(instr.dst, reg)
+
+    def _gen_cbranch(self, instr: ir.CBranch) -> None:
+        op, a, b = instr.op, instr.a, instr.b
+        if isinstance(a, int) and not isinstance(b, int):
+            op, a, b = ir.SWAP_REL[op], b, a
+        a_reg = self.value_reg(a, "r8")
+        s2 = self._s2_operand(b, "r9")
+        self.emit(f"sub! r0, {a_reg}, {s2}")
+        self.emit(f"j{_REL_COND[op]} {instr.target}")
+        self.emit("nop")
+
+    def _gen_load(self, instr: ir.Load) -> None:
+        reg = self.dest_reg(instr.dst)
+        base, offset = self._address(instr.addr, instr.offset)
+        mnemonic = _LOAD_MNEMONIC[(instr.width, instr.signed)]
+        self.emit(f"{mnemonic} {reg}, {offset}({base})")
+        self.commit(instr.dst, reg)
+
+    def _gen_store(self, instr: ir.Store) -> None:
+        # address first: materializing a large offset may use r9, which is
+        # also the value's staging register
+        base, offset = self._address(instr.addr, instr.offset)
+        value = self.value_reg(instr.src, "r9")
+        self.emit(f"{_STORE_MNEMONIC[instr.width]} {value}, {offset}({base})")
+
+    def _address(self, addr: ir.Operand, offset: int) -> tuple[str, int]:
+        """Reduce (addr operand, byte offset) to a (base register, offset)."""
+        if isinstance(addr, int):
+            total = addr + offset
+            if _fits(total):
+                return "r0", total
+            self.emit(f"set r8, #{total}")
+            return "r8", 0
+        base = self.value_reg(addr, "r8")
+        if _fits(offset):
+            return base, offset
+        self.emit(f"set r9, #{offset}")
+        self.emit(f"add r8, {base}, r9")
+        return "r8", 0
+
+    def _gen_call(self, instr: ir.Call) -> None:
+        if instr.name == "putchar":
+            reg = self.value_reg(instr.args[0], "r9")
+            self.emit(f"putc {reg}")
+            return
+        if instr.name == "putint":
+            reg = self.value_reg(instr.args[0], "r9")
+            self.emit(f"puti {reg}")
+            return
+        name = "__puts" if instr.name == "puts" else instr.name
+        if name.startswith("__"):
+            self.used_runtime.add(name)
+        if len(instr.args) > MAX_ARGS:
+            raise CompileError(
+                f"call to {instr.name}: more than {MAX_ARGS} arguments is not "
+                "supported by the RISC I register-window convention"
+            )
+        for i, arg in enumerate(instr.args):
+            self.move_to(f"r{10 + i}", arg)
+        self.emit(f"call {name}")
+        self.emit("nop")
+        if instr.dst is not None:
+            reg = self.dest_reg(instr.dst)
+            if reg != "r10":
+                self.emit(f"add {reg}, r10, #0")
+            self.commit(instr.dst, reg if reg != "r10" else "r10")
+
+    def _gen_ret(self, instr: ir.Ret) -> None:
+        if instr.src is not None:
+            self.move_to("r26", instr.src)
+        self.emit("ret")
+        if self.frame_size:
+            self.emit(f"add r1, r1, #{self.frame_size}")  # window-safe delay slot
+        else:
+            self.emit("nop")
+
+
+class RiscCodegen:
+    """Generates a complete RISC I assembly module from an IR program."""
+
+    def __init__(self, program: ir.IRProgram):
+        self.program = program
+        self.used_runtime: set[str] = set()
+
+    def generate(self) -> str:
+        from repro.cc.runtime import runtime_text
+
+        lines: list[str] = ["; generated by rcc (RISC I backend)", "    .text"]
+        lines += [
+            "_start:",
+            "    call main",
+            "    nop",
+            "    halt r10",
+        ]
+        for func in self.program.functions:
+            codegen = _FunctionCodegen(func, self.used_runtime)
+            lines.extend(codegen.generate())
+        runtime = runtime_text(self.used_runtime)
+        if runtime:
+            lines.append(runtime)
+        lines.extend(self._data_section())
+        return "\n".join(lines) + "\n"
+
+    def _data_section(self) -> list[str]:
+        lines: list[str] = []
+        if not self.program.globals and not self.program.strings:
+            return lines
+        lines.append("    .data")
+        for gdef in self.program.globals:
+            var = gdef.var
+            lines.append("    .align 4")
+            if var.type.is_array:
+                lines.append(f"{var.name}: .space {var.type.size}")
+            elif gdef.init_string is not None:
+                lines.append(f"{var.name}: .word {gdef.init_string}")
+            else:
+                lines.append(f"{var.name}: .word {gdef.init_value or 0}")
+        for label, text in self.program.strings.items():
+            escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r").replace("\0", "\\0")
+            lines.append(f'{label}: .asciiz "{escaped}"')
+        return lines
+
+
+def generate_risc_assembly(program: ir.IRProgram) -> str:
+    """IR program -> RISC I assembly text (before delay-slot optimization)."""
+    return RiscCodegen(program).generate()

@@ -1,0 +1,396 @@
+"""Semantic analysis for mini-C.
+
+Builds symbol tables, checks types and lvalues, annotates every expression
+with its type, and records per-variable facts the backends need — most
+importantly whether a local variable has its address taken (such variables
+must live in the stack frame, not a register).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cc import ast_nodes as ast
+from repro.cc.errors import CompileError
+
+#: Functions the compiler knows intrinsically.  ``putchar``/``putint`` map
+#: to the MMIO console, ``puts`` is provided by the runtime library, and
+#: multiplication/division lower to runtime calls on RISC I.
+BUILTINS: dict[str, tuple[ast.Type, tuple[ast.Type, ...]]] = {
+    "putchar": (ast.VOID, (ast.INT,)),
+    "putint": (ast.VOID, (ast.INT,)),
+    "puts": (ast.VOID, (ast.Type(ast.BaseType.CHAR, pointers=1),)),
+}
+
+
+@dataclasses.dataclass(eq=False)
+class VarInfo:
+    """What the backends need to know about one variable.
+
+    Identity semantics (``eq=False``): two distinct declarations are two
+    distinct variables even if every field matches, and backends key
+    placement tables by the VarInfo object itself.
+    """
+
+    name: str
+    type: ast.Type
+    is_param: bool = False
+    is_global: bool = False
+    addressed: bool = False
+    param_index: int = -1
+    #: unique id distinguishing shadowed locals of the same name
+    uid: int = 0
+
+
+@dataclasses.dataclass
+class FuncInfo:
+    name: str
+    return_type: ast.Type
+    params: list[VarInfo]
+    #: every local (including shadowed ones), in declaration order
+    locals: list[VarInfo] = dataclasses.field(default_factory=list)
+    #: does this function call anything? (leaf functions matter to E7)
+    makes_calls: bool = False
+
+
+@dataclasses.dataclass
+class ProgramInfo:
+    functions: dict[str, FuncInfo]
+    globals: dict[str, VarInfo]
+    unit: ast.TranslationUnit
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.vars: dict[str, VarInfo] = {}
+
+    def define(self, info: VarInfo, line: int) -> None:
+        if info.name in self.vars:
+            raise CompileError(f"redefinition of {info.name!r}", line)
+        self.vars[info.name] = info
+
+    def lookup(self, name: str) -> VarInfo | None:
+        scope: _Scope | None = self
+        while scope:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Type checker and annotator.  Mutates the AST in place."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.globals: dict[str, VarInfo] = {}
+        self.functions: dict[str, FuncInfo] = {}
+        self._current: FuncInfo | None = None
+        self._loop_depth = 0
+        self._uid = 0
+        #: VarRef -> resolved VarInfo, attached for the IR generator.
+        self.resolved: dict[int, VarInfo] = {}
+
+    def analyze(self) -> ProgramInfo:
+        for gvar in self.unit.globals:
+            if gvar.name in self.globals:
+                raise CompileError(f"redefinition of global {gvar.name!r}", gvar.line)
+            if gvar.type.base is ast.BaseType.VOID and not gvar.type.is_pointer:
+                raise CompileError("global cannot have type void", gvar.line)
+            if gvar.init is not None and not isinstance(
+                gvar.init, (ast.NumberLit, ast.StringLit, ast.Unary)
+            ):
+                raise CompileError(
+                    f"global initializer for {gvar.name!r} must be a constant", gvar.line
+                )
+            self.globals[gvar.name] = VarInfo(gvar.name, gvar.type, is_global=True)
+
+        defined: set[str] = set()
+        for func in self.unit.functions:
+            if func.name in BUILTINS:
+                raise CompileError(f"redefinition of function {func.name!r}", func.line)
+            if func.name in self.globals:
+                raise CompileError(
+                    f"{func.name!r} is both a global and a function", func.line
+                )
+            if func.name in self.functions:
+                if func.body is not None and func.name in defined:
+                    raise CompileError(
+                        f"redefinition of function {func.name!r}", func.line
+                    )
+                self._check_signature_matches(func)
+            else:
+                params = [
+                    VarInfo(p.name, p.type, is_param=True, param_index=i)
+                    for i, p in enumerate(func.params)
+                ]
+                self.functions[func.name] = FuncInfo(func.name, func.return_type, params)
+            if func.body is not None:
+                defined.add(func.name)
+
+        for func in self.unit.functions:
+            if func.body is not None:
+                self._check_function(func)
+        for name, info in self.functions.items():
+            if name not in defined:
+                raise CompileError(f"function {name!r} declared but never defined")
+        return ProgramInfo(self.functions, self.globals, self.unit)
+
+    def _check_signature_matches(self, func: ast.FuncDef) -> None:
+        info = self.functions[func.name]
+        expected = [p.type for p in info.params]
+        actual = [p.type for p in func.params]
+        if info.return_type != func.return_type or expected != actual:
+            raise CompileError(
+                f"conflicting declaration of function {func.name!r}", func.line
+            )
+        if func.body is not None:
+            # the definition's parameter names win (the body refers to them)
+            info.params = [
+                VarInfo(p.name, p.type, is_param=True, param_index=i)
+                for i, p in enumerate(func.params)
+            ]
+
+    # -- functions ------------------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDef) -> None:
+        info = self.functions[func.name]
+        self._current = info
+        scope = _Scope()
+        for param in info.params:
+            scope.define(param, func.line)
+        self._check_block(func.body, _Scope(scope))
+        self._current = None
+
+    # -- statements --------------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        for stmt in block.body:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, _Scope(scope))
+        elif isinstance(stmt, ast.Decl):
+            self._check_decl(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self._check_expr(stmt.cond, scope)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step:
+                self._check_expr(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise CompileError(f"{keyword} outside a loop", stmt.line)
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _check_decl(self, decl: ast.Decl, scope: _Scope) -> None:
+        if decl.var_type.base is ast.BaseType.VOID and not decl.var_type.is_pointer:
+            raise CompileError(f"variable {decl.name!r} cannot be void", decl.line)
+        self._uid += 1
+        info = VarInfo(decl.name, decl.var_type, uid=self._uid)
+        scope.define(info, decl.line)
+        assert self._current is not None
+        self._current.locals.append(info)
+        self.resolved[id(decl)] = info
+        if decl.init:
+            init_type = self._check_expr(decl.init, scope)
+            self._check_assignable(decl.var_type, init_type, decl.line)
+
+    def _check_return(self, stmt: ast.Return, scope: _Scope) -> None:
+        assert self._current is not None
+        expected = self._current.return_type
+        if stmt.value is None:
+            if expected != ast.VOID:
+                raise CompileError(
+                    f"{self._current.name} must return {expected}", stmt.line
+                )
+            return
+        if expected == ast.VOID:
+            raise CompileError(f"{self._current.name} returns void", stmt.line)
+        actual = self._check_expr(stmt.value, scope)
+        self._check_assignable(expected, actual, stmt.line)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> ast.Type:
+        expr.type = self._infer(expr, scope)
+        return expr.type
+
+    def _infer(self, expr: ast.Expr, scope: _Scope) -> ast.Type:
+        if isinstance(expr, ast.NumberLit):
+            return ast.INT
+        if isinstance(expr, ast.StringLit):
+            return ast.Type(ast.BaseType.CHAR, pointers=1)
+        if isinstance(expr, ast.VarRef):
+            info = scope.lookup(expr.name) or self.globals.get(expr.name)
+            if info is None:
+                raise CompileError(f"undefined variable {expr.name!r}", expr.line)
+            self.resolved[id(expr)] = info
+            return info.type
+        if isinstance(expr, ast.Unary):
+            return self._infer_unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._infer_assign(expr, scope)
+        if isinstance(expr, ast.IncDec):
+            target_type = self._check_expr(expr.target, scope)
+            self._require_lvalue(expr.target)
+            if target_type.is_array:
+                raise CompileError("cannot increment an array", expr.line)
+            return target_type
+        if isinstance(expr, ast.Index):
+            base_type = self._check_expr(expr.base, scope)
+            index_type = self._check_expr(expr.index, scope)
+            if not (base_type.is_array or base_type.is_pointer):
+                raise CompileError(f"cannot index {base_type}", expr.line)
+            self._require_arithmetic(index_type, expr.line)
+            return base_type.element
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, scope)
+        raise CompileError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def _infer_unary(self, expr: ast.Unary, scope: _Scope) -> ast.Type:
+        operand_type = self._check_expr(expr.operand, scope)
+        if expr.op == "&":
+            self._require_lvalue(expr.operand)
+            self._mark_addressed(expr.operand)
+            if operand_type.is_array:
+                # &arr is treated as a pointer to the first element, the
+                # usual 1981-vintage C behaviour.
+                return operand_type.decay()
+            return ast.Type(operand_type.base, operand_type.pointers + 1)
+        if expr.op == "*":
+            decayed = operand_type.decay()
+            if not decayed.is_pointer:
+                raise CompileError(f"cannot dereference {operand_type}", expr.line)
+            return decayed.element
+        self._require_arithmetic(operand_type, expr.line)
+        return ast.INT
+
+    def _infer_binary(self, expr: ast.Binary, scope: _Scope) -> ast.Type:
+        left = self._check_expr(expr.left, scope).decay()
+        right = self._check_expr(expr.right, scope).decay()
+        op = expr.op
+        if op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+            return ast.INT
+        if op == "+":
+            if left.is_pointer and not right.is_pointer:
+                return left
+            if right.is_pointer and not left.is_pointer:
+                return right
+            if left.is_pointer and right.is_pointer:
+                raise CompileError("cannot add two pointers", expr.line)
+            return ast.INT
+        if op == "-":
+            if left.is_pointer and right.is_pointer:
+                return ast.INT  # pointer difference, in elements
+            if left.is_pointer:
+                return left
+            if right.is_pointer:
+                raise CompileError("cannot subtract pointer from integer", expr.line)
+            return ast.INT
+        self._require_arithmetic(left, expr.line)
+        self._require_arithmetic(right, expr.line)
+        return ast.INT
+
+    def _infer_assign(self, expr: ast.Assign, scope: _Scope) -> ast.Type:
+        target_type = self._check_expr(expr.target, scope)
+        value_type = self._check_expr(expr.value, scope)
+        self._require_lvalue(expr.target)
+        if target_type.is_array:
+            raise CompileError("cannot assign to an array", expr.line)
+        if expr.op == "=":
+            self._check_assignable(target_type, value_type, expr.line)
+        elif expr.op in ("+=", "-="):
+            if target_type.is_pointer:
+                self._require_arithmetic(value_type.decay(), expr.line)
+            else:
+                self._require_arithmetic(target_type, expr.line)
+        else:
+            self._require_arithmetic(target_type, expr.line)
+            self._require_arithmetic(value_type.decay(), expr.line)
+        return target_type
+
+    def _infer_call(self, expr: ast.Call, scope: _Scope) -> ast.Type:
+        if expr.name in self.functions:
+            info = self.functions[expr.name]
+            expected = [p.type for p in info.params]
+            return_type = info.return_type
+        elif expr.name in BUILTINS:
+            return_type, params = BUILTINS[expr.name]
+            expected = list(params)
+        else:
+            raise CompileError(f"undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(expected):
+            raise CompileError(
+                f"{expr.name} expects {len(expected)} argument(s), got {len(expr.args)}",
+                expr.line,
+            )
+        for arg, want in zip(expr.args, expected):
+            got = self._check_expr(arg, scope)
+            self._check_assignable(want, got, expr.line)
+        if self._current is not None:
+            self._current.makes_calls = True
+        return return_type
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.VarRef):
+            return
+        if isinstance(expr, ast.Index):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise CompileError("expression is not an lvalue", expr.line)
+
+    def _mark_addressed(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.VarRef):
+            info = self.resolved.get(id(expr))
+            if info is not None:
+                info.addressed = True
+
+    def _require_arithmetic(self, type_: ast.Type, line: int) -> None:
+        if type_.is_pointer or type_.is_array:
+            raise CompileError(f"arithmetic on non-scalar type {type_}", line)
+
+    def _check_assignable(self, target: ast.Type, value: ast.Type, line: int) -> None:
+        value = value.decay()
+        if target.is_pointer or value.is_pointer:
+            # Permissive pointer compatibility (this is 1981-vintage C):
+            # any pointer converts to any pointer; integers convert too.
+            return
+        if target.base is ast.BaseType.VOID or value.base is ast.BaseType.VOID:
+            raise CompileError("void value not ignorable here", line)
+
+
+def analyze(unit: ast.TranslationUnit) -> tuple[ProgramInfo, Analyzer]:
+    """Run semantic analysis; returns program info and the analyzer (whose
+    ``resolved`` map the IR generator consumes)."""
+    analyzer = Analyzer(unit)
+    info = analyzer.analyze()
+    return info, analyzer

@@ -1,0 +1,13 @@
+"""The RISC I processor core: cycle-level simulator, timing and statistics.
+
+This is the paper's primary contribution, executable: a register-windowed,
+delayed-jump, load/store machine that runs programs produced by the
+assembler (:mod:`repro.asm`) or the mini-C compiler (:mod:`repro.cc`).
+"""
+
+from repro.core.cpu import CPU, ExecutionResult
+from repro.core.program import Program, Segment
+from repro.core.stats import ExecutionStats
+from repro.core.timing import RiscTiming
+
+__all__ = ["CPU", "ExecutionResult", "ExecutionStats", "Program", "RiscTiming", "Segment"]

@@ -1,0 +1,58 @@
+"""Command-line runner: ``risc1-run program.s``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.core.cpu import CPU
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Assemble and run a RISC I program")
+    parser.add_argument("source", help="assembly source file")
+    parser.add_argument("--windows", type=int, default=8, help="register windows (default 8)")
+    parser.add_argument(
+        "--max-instructions", type=int, default=100_000_000, help="safety execution limit"
+    )
+    parser.add_argument("--stats", action="store_true", help="print execution statistics")
+    parser.add_argument(
+        "--trace",
+        type=int,
+        metavar="N",
+        default=None,
+        help="trace execution, printing the first N instructions",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.source) as handle:
+        text = handle.read()
+    try:
+        program = assemble(text)
+    except AssemblerError as error:
+        print(f"{args.source}: {error}", file=sys.stderr)
+        return 1
+
+    cpu = CPU(num_windows=args.windows)
+    cpu.load(program)
+    if args.trace is not None:
+        from repro.core.trace import trace_run
+
+        trace = trace_run(cpu, max_instructions=args.max_instructions)
+        print(trace.render(limit=args.trace), file=sys.stderr)
+        if trace.result is None:
+            print("(instruction limit reached)", file=sys.stderr)
+            return 1
+        result = trace.result
+    else:
+        result = cpu.run(max_instructions=args.max_instructions)
+    sys.stdout.write(result.output)
+    if args.stats:
+        print(file=sys.stderr)
+        print(result.stats.summary(), file=sys.stderr)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

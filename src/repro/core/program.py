@@ -1,0 +1,62 @@
+"""Program images: the contract between assembler/compiler and simulator.
+
+A :class:`Program` is a set of loadable segments plus an entry point and a
+symbol table.  Both the RISC I toolchain and the VAX-like baseline use this
+representation, which keeps the experiment harnesses ISA-agnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Default load addresses.  Code is kept off page zero so that null-pointer
+#: style bugs in benchmark programs fault loudly instead of executing data.
+DEFAULT_CODE_BASE = 0x1000
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One loadable chunk of bytes."""
+
+    base: int
+    data: bytes
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """A loadable, runnable program image."""
+
+    segments: tuple[Segment, ...]
+    entry: int
+    symbols: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: address -> source line, for diagnostics.
+    source_map: dict[int, str] = dataclasses.field(default_factory=dict)
+
+    @property
+    def code_size(self) -> int:
+        """Total bytes of code+data in the image (the paper's size metric
+        counts program bytes; our segments separate code from data, so the
+        named ``code`` segment is the one used for size comparisons)."""
+        for segment in self.segments:
+            if segment.name == "code":
+                return len(segment.data)
+        return sum(len(segment.data) for segment in self.segments)
+
+    @property
+    def total_size(self) -> int:
+        return sum(len(segment.data) for segment in self.segments)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"undefined symbol: {name!r}") from None
+
+    def describe(self, address: int) -> str:
+        """Best-effort source location for an address."""
+        return self.source_map.get(address, f"{address:#010x}")

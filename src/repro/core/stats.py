@@ -1,0 +1,75 @@
+"""Execution statistics gathered by the simulator.
+
+The paper's evaluation is built on exactly these quantities: executed
+instruction counts by category, cycle counts, data-memory traffic, and
+procedure-call behaviour (call depth excursions, window overflow and
+underflow rates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.isa.opcodes import Category, Opcode, opcode_info
+
+
+@dataclasses.dataclass
+class ExecutionStats:
+    """Counters accumulated over one program run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    by_opcode: Counter = dataclasses.field(default_factory=Counter)
+    data_reads: int = 0
+    data_writes: int = 0
+    calls: int = 0
+    returns: int = 0
+    window_overflows: int = 0
+    window_underflows: int = 0
+    overflow_cycles: int = 0
+    spilled_registers: int = 0
+    filled_registers: int = 0
+    max_call_depth: int = 1
+    delay_slot_nops: int = 0
+    taken_jumps: int = 0
+    untaken_jumps: int = 0
+
+    @property
+    def data_references(self) -> int:
+        return self.data_reads + self.data_writes
+
+    @property
+    def by_category(self) -> Counter:
+        """Executed-instruction counts grouped by category."""
+        grouped: Counter = Counter()
+        for opcode, count in self.by_opcode.items():
+            grouped[opcode_info(opcode).category] += count
+        return grouped
+
+    def mix(self) -> dict[Category, float]:
+        """The dynamic instruction mix as fractions of all instructions."""
+        total = self.instructions or 1
+        return {cat: count / total for cat, count in self.by_category.items()}
+
+    def record(self, opcode: Opcode, cycles: int) -> None:
+        self.instructions += 1
+        self.cycles += cycles
+        self.by_opcode[opcode] += 1
+
+    def summary(self) -> str:
+        """A human-readable one-run summary."""
+        lines = [
+            f"instructions executed : {self.instructions}",
+            f"cycles                : {self.cycles}",
+            f"CPI                   : {self.cycles / self.instructions:.3f}"
+            if self.instructions
+            else "CPI                   : n/a",
+            f"data memory refs      : {self.data_references}"
+            f" ({self.data_reads} reads, {self.data_writes} writes)",
+            f"calls / returns       : {self.calls} / {self.returns}",
+            f"window overflows      : {self.window_overflows}",
+            f"window underflows     : {self.window_underflows}",
+            f"max call depth        : {self.max_call_depth}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Timing model of the RISC I processor.
+
+The paper's prototype targets a 400 ns cycle.  The timing rules are simple
+by design — that simplicity is the paper's thesis:
+
+* register-register operations, jumps, calls and returns: 1 cycle;
+* loads and stores: 2 cycles (the extra cycle is the data-memory access);
+* delayed jumps remove any taken-branch penalty;
+* a window overflow or underflow traps to a short software handler that
+  saves or restores one window (16 registers) on the register-save stack.
+
+The handler cost below is ``TRAP_ENTRY_CYCLES`` of bookkeeping (trap entry,
+pointer arithmetic, return from trap) plus 16 two-cycle memory operations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.opcodes import Opcode, opcode_info
+
+
+@dataclasses.dataclass(frozen=True)
+class RiscTiming:
+    """Cycle cost model for RISC I."""
+
+    cycle_ns: float = 400.0
+    trap_entry_cycles: int = 8
+    window_registers: int = 16
+    memory_op_cycles: int = 2
+
+    def instruction_cycles(self, opcode: Opcode) -> int:
+        """Cycles to execute one instruction (excluding trap handling).
+
+        Register operations take one cycle; a memory-access instruction
+        pays ``memory_op_cycles`` in total, so raising that knob models a
+        slower memory system (experiment E13).
+        """
+        if opcode_info(opcode).memory_access:
+            return self.memory_op_cycles
+        return 1
+
+    @property
+    def overflow_handler_cycles(self) -> int:
+        """Cycles for the window-overflow handler (16 stores + entry/exit)."""
+        return self.trap_entry_cycles + self.window_registers * self.memory_op_cycles
+
+    @property
+    def underflow_handler_cycles(self) -> int:
+        """Cycles for the window-underflow handler (16 loads + entry/exit)."""
+        return self.trap_entry_cycles + self.window_registers * self.memory_op_cycles
+
+    def nanoseconds(self, cycles: int) -> float:
+        return cycles * self.cycle_ns
+
+    def milliseconds(self, cycles: int) -> float:
+        return cycles * self.cycle_ns / 1e6

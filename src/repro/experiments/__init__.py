@@ -1,0 +1,31 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(scale="default") -> Table`` (or a list of
+tables).  ``scale="bench"`` uses the larger, paper-scale workload
+parameters.  The CLI (``risc1-experiments``) prints everything;
+EXPERIMENTS.md records the measured results against the paper's published
+shape.
+
+=====  ==========================================================
+E1     Table I — processor characteristics
+E2     Table II — weighted HLL statement costs
+E3     Table III — the RISC I instruction set
+E4     Figure — instruction formats
+E5     Figure — overlapped register windows
+E6     Window overflow rates vs. number of windows
+E7     Procedure-call cost comparison
+E8     Benchmark code size
+E9     Benchmark execution time
+E10    Delayed-jump slot utilization
+E11    Register-window ablation
+E12    Immediate-field design rationale
+E13    Memory-latency sensitivity (extension)
+E14    Window overflow handler policy (extension)
+E15    Compiler-quality headroom (extension)
+E16    Dynamic instruction mix
+=====  ==========================================================
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,64 @@
+"""``risc1-experiments`` — regenerate every table and figure of the paper."""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import time
+
+EXPERIMENTS = {
+    "e1": ("e1_characteristics", "Table I: processor characteristics"),
+    "e2": ("e2_hll_weights", "Table II: weighted HLL statement cost"),
+    "e3": ("e3_instruction_set", "Table III: the RISC I instruction set"),
+    "e4": ("e4_formats", "Figure: instruction formats"),
+    "e5": ("e5_register_windows", "Figure: overlapped register windows"),
+    "e6": ("e6_window_overflow", "window overflow vs. window count"),
+    "e7": ("e7_call_cost", "procedure-call cost comparison"),
+    "e8": ("e8_code_size", "benchmark code size"),
+    "e9": ("e9_exec_time", "benchmark execution time"),
+    "e10": ("e10_delay_slots", "delay-slot utilization"),
+    "e11": ("e11_window_ablation", "register-window ablation"),
+    "e12": ("e12_immediates", "immediate-field design rationale"),
+    "e13": ("e13_memory_latency", "memory-latency sensitivity"),
+    "e14": ("e14_spill_policy", "window overflow handler policy"),
+    "e15": ("e15_hand_code", "compiler quality: hand code vs compiled"),
+    "e16": ("e16_instruction_mix", "dynamic instruction mix"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures"
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help=f"which experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("default", "bench"),
+        default="default",
+        help="workload sizes: quick defaults or paper-scale bench parameters",
+    )
+    args = parser.parse_args(argv)
+
+    for key in args.experiments:
+        if key not in EXPERIMENTS:
+            parser.error(f"unknown experiment {key!r}")
+        module_name, description = EXPERIMENTS[key]
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        started = time.time()
+        result = module.run(scale=args.scale)
+        elapsed = time.time() - started
+        tables = result if isinstance(result, list) else [result]
+        for table in tables:
+            print(table.render())
+            print()
+        print(f"[{key}: {description} — {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Shared plumbing for the experiment harnesses.
+
+Compilation and simulation results are cached per (workload, target,
+scale) within the process so that experiments sharing measurements (E8 and
+E9, for instance) pay for each run once.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.cc.driver import CompiledProgram, compile_program, run_compiled
+from repro.cc.irvm import IRResult, run_ir
+from repro.core.cpu import CPU
+from repro.workloads import ALL_WORKLOADS
+
+#: simulated clock periods, as in the paper's comparison
+RISC_CYCLE_NS = 400.0
+CISC_CYCLE_NS = 200.0
+
+
+def workload_source(name: str, scale: str) -> str:
+    workload = ALL_WORKLOADS[name]
+    params = workload.bench_params if scale == "bench" else {}
+    return workload.source(**params)
+
+
+@functools.lru_cache(maxsize=None)
+def compiled(name: str, target: str, scale: str = "default") -> CompiledProgram:
+    return compile_program(workload_source(name, scale), target=target)
+
+
+@functools.lru_cache(maxsize=None)
+def executed(name: str, target: str, scale: str = "default"):
+    """Run a workload on its target simulator, verifying the output."""
+    program = compiled(name, target, scale)
+    result = run_compiled(program, max_instructions=500_000_000)
+    workload = ALL_WORKLOADS[name]
+    params = workload.bench_params if scale == "bench" else {}
+    expected = workload.expected_output(**params)
+    if result.output != expected:
+        raise AssertionError(
+            f"{name} on {target}: output {result.output!r} != expected {expected!r}"
+        )
+    return result
+
+
+@functools.lru_cache(maxsize=None)
+def ir_profile(name: str, scale: str = "default") -> IRResult:
+    """Dynamic IR profile of a workload (verified against the oracle)."""
+    program = compiled(name, "risc1", scale)
+    result = run_ir(program.ir)
+    workload = ALL_WORKLOADS[name]
+    params = workload.bench_params if scale == "bench" else {}
+    expected = workload.expected_output(**params)
+    if result.output != expected:
+        raise AssertionError(f"{name} IR run: {result.output!r} != {expected!r}")
+    return result
+
+
+@functools.lru_cache(maxsize=None)
+def traced_run(name: str, scale: str = "default", num_windows: int = 8):
+    """Run a workload on RISC I with call tracing enabled."""
+    program = compiled(name, "risc1", scale)
+    cpu = CPU(num_windows=num_windows, trace_calls=True)
+    cpu.load(program.program)
+    result = cpu.run(max_instructions=500_000_000)
+    return cpu, result
+
+
+def risc_ms(cycles: int) -> float:
+    return cycles * RISC_CYCLE_NS / 1e6
+
+
+def cisc_ms(cycles: int) -> float:
+    return cycles * CISC_CYCLE_NS / 1e6

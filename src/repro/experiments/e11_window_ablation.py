@@ -1,0 +1,42 @@
+"""E11 — the register-window ablation.
+
+What would RISC I cost *without* its register windows?  Each measured run
+is re-priced under a conventional save/restore calling convention
+(:mod:`repro.baselines.conventional`), across a sensitivity range of 4, 8
+and 12 saved registers per call.  The paper's architectural bet is that
+this slowdown is large on call-heavy programs and the window hardware is
+what buys it back.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.baselines.conventional import ConventionalCallModel
+from repro.experiments import common
+from repro.workloads import BENCHMARK_SUITE
+
+SAVED_REGISTER_SWEEP = (4, 8, 12)
+
+
+def run(scale: str = "default") -> Table:
+    table = Table(
+        title="E11: slowdown of RISC I without register windows",
+        headers=["program", "calls/1k insts"]
+        + [f"save {n} regs" for n in SAVED_REGISTER_SWEEP]
+        + ["traffic x (8 regs)"],
+    )
+    for name in BENCHMARK_SUITE:
+        result = common.executed(name, "risc1", scale)
+        stats = result.stats
+        call_density = 1000.0 * stats.calls / stats.instructions
+        slowdowns = []
+        for saved in SAVED_REGISTER_SWEEP:
+            projection = ConventionalCallModel(saved_registers=saved).reprice(stats)
+            slowdowns.append(projection.slowdown)
+        traffic = ConventionalCallModel(saved_registers=8).reprice(stats).traffic_ratio
+        table.add_row(name, call_density, *slowdowns, traffic)
+    table.add_note(
+        "cells are conventional-convention time / windowed time; "
+        "traffic x = data-memory references ratio"
+    )
+    return table

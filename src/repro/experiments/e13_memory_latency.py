@@ -1,0 +1,80 @@
+"""E13 — sensitivity to memory latency (extension ablation).
+
+The paper's timing assumes a data memory that keeps pace with the 400 ns
+processor cycle.  This ablation sweeps the *physical* memory latency — in
+nanoseconds, the same wall-clock memory for both machines — and converts
+it to each machine's cycles:
+
+* RISC I (400 ns cycle): a load/store costs ``1 + ceil(latency/400)``
+  cycles;
+* VAX-like (200 ns cycle): each data reference costs
+  ``ceil(latency/200)`` cycles.
+
+Two regimes emerge, both physical: with memory *faster* than 400 ns the
+CISC machine's quicker clock lets it exploit the headroom, narrowing
+RISC I's lead; once memory is slower than the processor cycle, the
+machine making fewer data references per unit of work — RISC I, thanks
+to load/store discipline and register windows — pulls away.  The paper's
+design sits exactly at the 400 ns crossover.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.report import Table, geometric_mean
+from repro.baselines.vax.cpu import VaxCPU
+from repro.baselines.vax.timing import VaxTiming
+from repro.core.cpu import CPU
+from repro.core.timing import RiscTiming
+from repro.experiments import common
+
+#: a representative slice of the suite (one per category) keeps the sweep fast
+SWEEP_WORKLOADS = ("towers", "string_search_e", "qsort")
+LATENCIES_NS = (200, 400, 800, 1600)
+
+RISC_CYCLE_NS = 400.0
+CISC_CYCLE_NS = 200.0
+
+
+def _risc_time_ns(name: str, scale: str, latency_ns: int) -> float:
+    memory_cycles = 1 + math.ceil(latency_ns / RISC_CYCLE_NS)
+    program = common.compiled(name, "risc1", scale)
+    cpu = CPU(timing=RiscTiming(memory_op_cycles=memory_cycles))
+    cpu.load(program.program)
+    return cpu.run(max_instructions=500_000_000).stats.cycles * RISC_CYCLE_NS
+
+
+def _cisc_time_ns(name: str, scale: str, latency_ns: int) -> float:
+    memory_cycles = math.ceil(latency_ns / CISC_CYCLE_NS)
+    program = common.compiled(name, "cisc", scale)
+    cpu = VaxCPU(timing=VaxTiming(memory_cycles=memory_cycles))
+    cpu.load(program.program)
+    return cpu.run(max_instructions=500_000_000).stats.cycles * CISC_CYCLE_NS
+
+
+def run(scale: str = "default") -> Table:
+    table = Table(
+        title="E13: VAX/RISC time ratio vs. physical memory latency (ns)",
+        headers=["program"] + [f"{lat} ns" for lat in LATENCIES_NS],
+    )
+    per_latency: dict[int, list[float]] = {lat: [] for lat in LATENCIES_NS}
+    for name in SWEEP_WORKLOADS:
+        row = [name]
+        for latency in LATENCIES_NS:
+            ratio = _cisc_time_ns(name, scale, latency) / _risc_time_ns(
+                name, scale, latency
+            )
+            per_latency[latency].append(ratio)
+            row.append(ratio)
+        table.add_row(*row)
+    table.add_row(
+        "geometric mean",
+        *[geometric_mean(per_latency[lat]) for lat in LATENCIES_NS],
+    )
+    table.add_note(
+        "same wall-clock memory for both machines; ratio > 1.0 means "
+        "RISC I is faster.  Slower-than-cycle memory favours the machine "
+        "making fewer data references"
+    )
+    return table

@@ -1,0 +1,55 @@
+"""E14 — window overflow handler policy (extension ablation).
+
+When a CALL overflows the register file the handler must reclaim space.
+The classic demand policy spills exactly one window per trap; a batched
+policy spills several, trading extra spill traffic for fewer traps — the
+debate the SPARC lineage later settled per-OS.  This ablation measures
+both on the programs where it matters:
+
+* deep oscillating recursion (Ackermann) thrashes the file, so batching
+  should amortize trap overhead;
+* well-behaved recursion (towers, qsort) barely overflows with 8 windows,
+  so batching mostly wastes spill traffic at small window counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.core.cpu import CPU
+from repro.experiments import common
+
+SPILL_BATCHES = (1, 2, 4)
+CONFIGS = (("ackermann", 8), ("ackermann", 4), ("towers", 4), ("qsort", 4))
+
+
+def _run(name: str, scale: str, windows: int, batch: int):
+    program = common.compiled(name, "risc1", scale)
+    cpu = CPU(num_windows=windows, spill_batch=batch)
+    cpu.load(program.program)
+    return cpu.run(max_instructions=500_000_000)
+
+
+def run(scale: str = "default") -> Table:
+    table = Table(
+        title="E14: overflow handler policy — windows spilled per trap",
+        headers=["program/windows"]
+        + [f"traps (b={b})" for b in SPILL_BATCHES]
+        + [f"cycles (b={b})" for b in SPILL_BATCHES],
+    )
+    for name, windows in CONFIGS:
+        traps, cycles = [], []
+        expected = None
+        for batch in SPILL_BATCHES:
+            result = _run(name, scale, windows, batch)
+            if expected is None:
+                expected = result.output
+            elif result.output != expected:
+                raise AssertionError(f"{name}: output changed under batch={batch}")
+            traps.append(result.stats.window_overflows)
+            cycles.append(result.stats.cycles)
+        table.add_row(f"{name}/{windows}w", *traps, *cycles)
+    table.add_note(
+        "batching reduces traps everywhere; it pays off in cycles only "
+        "where the file thrashes (deep oscillating recursion)"
+    )
+    return table

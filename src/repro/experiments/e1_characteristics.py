@@ -1,0 +1,97 @@
+"""E1 — Table I: processor characteristics.
+
+The paper's first table contrasts RISC I's design economy with
+contemporary microcoded machines.  Columns derived from our own models are
+*computed* from the model source (instruction counts, format counts,
+addressing modes, decode-table entries as the control-complexity proxy);
+the 68000/Z8002 columns are static facts from their data sheets, carried
+as documented constants.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.baselines.vax.isa import INSTRUCTIONS as VAX_INSTRUCTIONS, Mode
+from repro.isa.opcodes import Format, INSTRUCTION_SET_TABLE
+
+
+def _risc_column() -> dict:
+    formats = {info.format for info in INSTRUCTION_SET_TABLE}
+    return {
+        "machine": "RISC I",
+        "instructions": len(INSTRUCTION_SET_TABLE),
+        "formats": len(formats),
+        "addressing modes": 2,  # register + indexed/immediate (Rs + S2)
+        "inst bytes": "4",
+        "general registers": "138 (32 visible)",
+        "control style": "hardwired",
+        "decode entries": len(INSTRUCTION_SET_TABLE),
+        "microcode": "none",
+    }
+
+
+def _vax_column() -> dict:
+    modes = len(list(Mode)) + 1  # short-literal counts as one family
+    specifier_forms = sum(len(info.operands) for info in VAX_INSTRUCTIONS.values())
+    return {
+        "machine": "VAX-like",
+        "instructions": len(VAX_INSTRUCTIONS),
+        "formats": "variable",
+        "addressing modes": modes,
+        "inst bytes": "1-19",
+        "general registers": "16",
+        "control style": "microcoded",
+        "decode entries": specifier_forms,
+        "microcode": "modelled (cycle table)",
+    }
+
+
+_STATIC_COLUMNS = [
+    # static facts from the 68000 / Z8002 data sheets (not modelled code)
+    {
+        "machine": "M68000",
+        "instructions": 56,
+        "formats": "variable",
+        "addressing modes": 14,
+        "inst bytes": "2-10",
+        "general registers": "16",
+        "control style": "microcoded",
+        "decode entries": "n/a (data sheet)",
+        "microcode": "32.5 Kbit",
+    },
+    {
+        "machine": "Z8002",
+        "instructions": 110,
+        "formats": "variable",
+        "addressing modes": 8,
+        "inst bytes": "2-8",
+        "general registers": "16",
+        "control style": "microcoded",
+        "decode entries": "n/a (data sheet)",
+        "microcode": "17.5 Kbit",
+    },
+]
+
+
+def run(scale: str = "default") -> Table:
+    table = Table(
+        title="E1 / Table I: processor characteristics",
+        headers=[
+            "machine",
+            "instructions",
+            "formats",
+            "addressing modes",
+            "inst bytes",
+            "general registers",
+            "control style",
+            "decode entries",
+            "microcode",
+        ],
+    )
+    for column in [_risc_column(), _vax_column()] + _STATIC_COLUMNS:
+        table.add_row(*[column[h] for h in table.headers])
+    table.add_note(
+        "decode entries = opcode rows (RISC I) vs opcode rows x operand "
+        "specifiers (VAX-like): the control-complexity proxy"
+    )
+    return table

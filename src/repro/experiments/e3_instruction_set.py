@@ -1,0 +1,26 @@
+"""E3 — Table III: the RISC I instruction set.
+
+Regenerated directly from the ISA definition, so the table can never
+drift from what the simulator executes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.isa.opcodes import INSTRUCTION_SET_TABLE
+
+
+def run(scale: str = "default") -> Table:
+    table = Table(
+        title="E3 / Table III: the 31 instructions of RISC I",
+        headers=["instruction", "operands", "semantics", "comment", "category"],
+    )
+    for info in INSTRUCTION_SET_TABLE:
+        table.add_row(
+            info.mnemonic.upper(),
+            info.operands,
+            info.semantics,
+            info.comment,
+            info.category.value,
+        )
+    return table

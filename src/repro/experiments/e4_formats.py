@@ -1,0 +1,39 @@
+"""E4 — Figure: the two 32-bit instruction formats.
+
+Rendered from :func:`repro.isa.encoding.format_fields`, the same data the
+encoder/decoder uses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.isa.encoding import format_fields
+from repro.isa.opcodes import Format
+
+
+def render_figure() -> str:
+    """ASCII rendering of both instruction formats."""
+    lines = []
+    for fmt in (Format.SHORT, Format.LONG):
+        fields = format_fields(fmt)
+        cells = [f" {name}({width}) " for name, width in fields]
+        border = "+" + "+".join("-" * len(c) for c in cells) + "+"
+        row = "|" + "|".join(cells) + "|"
+        lines += [f"{fmt.value}-immediate format:", border, row, border, ""]
+    return "\n".join(lines)
+
+
+def run(scale: str = "default") -> Table:
+    table = Table(
+        title="E4 / Figure: RISC I instruction formats",
+        headers=["format", "fields", "total bits"],
+    )
+    for fmt in (Format.SHORT, Format.LONG):
+        fields = format_fields(fmt)
+        table.add_row(
+            fmt.value,
+            " | ".join(f"{name}:{width}" for name, width in fields),
+            sum(width for _, width in fields),
+        )
+    table.add_note("every instruction is exactly one 32-bit word")
+    return table

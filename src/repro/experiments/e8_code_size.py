@@ -1,0 +1,66 @@
+"""E8 — benchmark program size.
+
+The paper's code-size table: RISC I programs against the four CISC
+machines, as ratios (other / RISC I; below 1.0 means denser than RISC I).
+Published result: RISC I code runs roughly 1.2-1.5x the size of VAX code
+and close to the 16-bit machines — fixed 32-bit instructions cost far
+less density than the "reduced" name suggests.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table, geometric_mean
+from repro.baselines.estimators import M68000, Z8002
+from repro.experiments import common
+from repro.workloads import BENCHMARK_SUITE
+
+
+def run(scale: str = "default") -> Table:
+    table = Table(
+        title="E8: program size (bytes, and ratio to RISC I)",
+        headers=[
+            "program",
+            "RISC I",
+            "VAX-like",
+            "VAX/RISC",
+            "M68000",
+            "68K/RISC",
+            "Z8002",
+            "Z8K/RISC",
+        ],
+    )
+    vax_ratios, m68k_ratios, z8k_ratios = [], [], []
+    for name in BENCHMARK_SUITE:
+        risc = common.compiled(name, "risc1", scale)
+        cisc = common.compiled(name, "cisc", scale)
+        ir_program = risc.ir
+        m68k_bytes = M68000.code_size(ir_program)
+        z8k_bytes = Z8002.code_size(ir_program)
+        vax_ratio = cisc.code_size / risc.code_size
+        m68k_ratio = m68k_bytes / risc.code_size
+        z8k_ratio = z8k_bytes / risc.code_size
+        vax_ratios.append(vax_ratio)
+        m68k_ratios.append(m68k_ratio)
+        z8k_ratios.append(z8k_ratio)
+        table.add_row(
+            name,
+            risc.code_size,
+            cisc.code_size,
+            vax_ratio,
+            m68k_bytes,
+            m68k_ratio,
+            z8k_bytes,
+            z8k_ratio,
+        )
+    table.add_row(
+        "geometric mean",
+        "",
+        "",
+        geometric_mean(vax_ratios),
+        "",
+        geometric_mean(m68k_ratios),
+        "",
+        geometric_mean(z8k_ratios),
+    )
+    table.add_note("ratio < 1.0 means the other machine's code is denser than RISC I's")
+    return table

@@ -1,0 +1,69 @@
+"""The RISC I instruction set architecture.
+
+This package defines the architecture exactly as described in the ISCA 1981
+paper: the 31 instructions, the two 32-bit instruction formats
+(short-immediate and long-immediate), the condition-code model, and the
+register-window visibility map (10 GLOBAL, 6 HIGH, 10 LOCAL, 6 LOW registers
+visible at any time, with HIGH/LOW overlap between adjacent windows).
+
+The definitions here are pure data plus encode/decode logic; the machine
+state lives in :mod:`repro.machine` and execution semantics in
+:mod:`repro.core`.
+"""
+
+from repro.isa.conditions import Cond, cond_holds
+from repro.isa.encoding import (
+    Format,
+    Instruction,
+    decode,
+    encode,
+)
+from repro.isa.opcodes import (
+    ALL_OPCODES,
+    INSTRUCTION_SET_TABLE,
+    Category,
+    Opcode,
+    OpcodeInfo,
+    opcode_info,
+)
+from repro.isa.registers import (
+    GLOBAL_REGS,
+    HIGH_REGS,
+    LOCAL_REGS,
+    LOW_REGS,
+    NUM_VISIBLE_REGS,
+    NUM_WINDOWS,
+    REGS_PER_WINDOW,
+    TOTAL_PHYSICAL_REGS,
+    WINDOW_OVERLAP,
+    RegisterClass,
+    classify_register,
+    physical_index,
+)
+
+__all__ = [
+    "ALL_OPCODES",
+    "Category",
+    "Cond",
+    "Format",
+    "GLOBAL_REGS",
+    "HIGH_REGS",
+    "INSTRUCTION_SET_TABLE",
+    "Instruction",
+    "LOCAL_REGS",
+    "LOW_REGS",
+    "NUM_VISIBLE_REGS",
+    "NUM_WINDOWS",
+    "Opcode",
+    "OpcodeInfo",
+    "REGS_PER_WINDOW",
+    "RegisterClass",
+    "TOTAL_PHYSICAL_REGS",
+    "WINDOW_OVERLAP",
+    "classify_register",
+    "cond_holds",
+    "decode",
+    "encode",
+    "opcode_info",
+    "physical_index",
+]

@@ -1,0 +1,118 @@
+"""Register-window organization of RISC I.
+
+At any moment a RISC I program sees 32 registers, r0..r31, partitioned as:
+
+======== ========= =====================================================
+Visible  Class     Purpose
+======== ========= =====================================================
+r0..r9   GLOBAL    shared by all procedures; r0 is hard-wired to zero
+r10..r15 LOW       outgoing parameters (the callee sees them as HIGH)
+r16..r25 LOCAL     scratch registers private to the current procedure
+r26..r31 HIGH      incoming parameters (the caller's LOW registers)
+======== ========= =====================================================
+
+A CALL advances the current window pointer (CWP) so that the caller's six
+LOW registers become the callee's six HIGH registers; nothing is copied.
+The physical register file therefore holds ``10 global + windows * 16``
+registers — 138 for the 8-window design of the paper.
+
+This module holds only the *mapping* from (window, visible register) to a
+physical register index; the stateful register file lives in
+:mod:`repro.machine.regfile`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Number of registers visible to a procedure at any time.
+NUM_VISIBLE_REGS = 32
+
+#: Number of overlapping register windows in the RISC I design.
+NUM_WINDOWS = 8
+
+#: Registers shared between adjacent windows (caller LOW == callee HIGH).
+WINDOW_OVERLAP = 6
+
+#: Non-overlapping registers contributed by each window (10 LOCAL + 6).
+REGS_PER_WINDOW = 16
+
+#: Visible register ranges, inclusive.
+GLOBAL_REGS = range(0, 10)
+LOW_REGS = range(10, 16)
+LOCAL_REGS = range(16, 26)
+HIGH_REGS = range(26, 32)
+
+#: Size of the physical register file (138 in the paper's 8-window design).
+TOTAL_PHYSICAL_REGS = len(GLOBAL_REGS) + NUM_WINDOWS * REGS_PER_WINDOW
+
+
+class RegisterClass(enum.Enum):
+    """Architectural class of a visible register number."""
+
+    GLOBAL = "global"
+    LOW = "low"
+    LOCAL = "local"
+    HIGH = "high"
+
+
+def classify_register(reg: int) -> RegisterClass:
+    """Return the :class:`RegisterClass` of visible register ``reg``.
+
+    >>> classify_register(0)
+    <RegisterClass.GLOBAL: 'global'>
+    >>> classify_register(31)
+    <RegisterClass.HIGH: 'high'>
+    """
+    if reg in GLOBAL_REGS:
+        return RegisterClass.GLOBAL
+    if reg in LOW_REGS:
+        return RegisterClass.LOW
+    if reg in LOCAL_REGS:
+        return RegisterClass.LOCAL
+    if reg in HIGH_REGS:
+        return RegisterClass.HIGH
+    raise ValueError(f"register number out of range 0..31: {reg}")
+
+
+def physical_index(window: int, reg: int, num_windows: int = NUM_WINDOWS) -> int:
+    """Map a visible register in a given window to its physical index.
+
+    Physical indices 0..9 are the globals.  The windowed portion of the file
+    is a circular buffer of ``num_windows * 16`` registers laid out so that
+    window ``w``'s LOW registers coincide with window ``w+1``'s HIGH
+    registers (a CALL increments CWP modulo ``num_windows``).
+
+    Layout per window ``w`` (base ``B = 10 + 16*w``):
+
+    * HIGH r26..r31  -> ``B + 0 .. B + 5``
+    * LOCAL r16..r25 -> ``B + 6 .. B + 15``
+    * LOW r10..r15   -> ``B + 16 .. B + 21`` (mod window span), i.e. the
+      HIGH slots of window ``w + 1``.
+
+    The overlap invariant — caller's ``r10+i`` is the same physical register
+    as callee's ``r26+i`` — is what makes parameter passing free.
+    """
+    if not 0 <= reg < NUM_VISIBLE_REGS:
+        raise ValueError(f"register number out of range 0..31: {reg}")
+    if not 0 <= window < num_windows:
+        raise ValueError(f"window out of range 0..{num_windows - 1}: {window}")
+
+    cls = classify_register(reg)
+    if cls is RegisterClass.GLOBAL:
+        return reg
+
+    span = num_windows * REGS_PER_WINDOW
+    base = REGS_PER_WINDOW * window
+    if cls is RegisterClass.HIGH:
+        offset = base + (reg - HIGH_REGS.start)
+    elif cls is RegisterClass.LOCAL:
+        offset = base + WINDOW_OVERLAP + (reg - LOCAL_REGS.start)
+    else:  # LOW: overlaps the next window's HIGH slots
+        offset = base + REGS_PER_WINDOW + (reg - LOW_REGS.start)
+    return len(GLOBAL_REGS) + offset % span
+
+
+def total_physical_regs(num_windows: int) -> int:
+    """Physical register-file size for a design with ``num_windows`` windows."""
+    return len(GLOBAL_REGS) + num_windows * REGS_PER_WINDOW

@@ -1,0 +1,25 @@
+"""Machine-state substrate shared by the RISC I simulator.
+
+This package holds the stateful hardware models: byte-addressable memory
+(:mod:`repro.machine.memory`), the windowed physical register file
+(:mod:`repro.machine.regfile`), the processor status word
+(:mod:`repro.machine.psw`) and the trap taxonomy
+(:mod:`repro.machine.traps`).
+"""
+
+from repro.machine.memory import Memory, MemoryError_, MemoryStats
+from repro.machine.psw import PSW
+from repro.machine.regfile import RegisterFile, WindowOverflow, WindowUnderflow
+from repro.machine.traps import Trap, TrapKind
+
+__all__ = [
+    "Memory",
+    "MemoryError_",
+    "MemoryStats",
+    "PSW",
+    "RegisterFile",
+    "Trap",
+    "TrapKind",
+    "WindowOverflow",
+    "WindowUnderflow",
+]

@@ -1,0 +1,46 @@
+"""The RISC I processor status word.
+
+The PSW gathers the condition-code bits (Z, N, C, V), the interrupt-enable
+bit, and the current-window pointer.  GETPSW/PUTPSW move it to and from a
+general register, so the PSW defines a packed 32-bit representation::
+
+    31 .. 12   11..8   7    6..4     3..0
+    reserved    CWP    I   reserved  VCNZ
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.conditions import ConditionCodes
+
+
+@dataclasses.dataclass
+class PSW:
+    """Mutable processor status word."""
+
+    cc: ConditionCodes = dataclasses.field(default_factory=ConditionCodes)
+    interrupts_enabled: bool = True
+    cwp: int = 0
+
+    def pack(self) -> int:
+        """Pack into the 32-bit GETPSW representation."""
+        word = 0
+        word |= 1 if self.cc.z else 0
+        word |= (1 if self.cc.n else 0) << 1
+        word |= (1 if self.cc.c else 0) << 2
+        word |= (1 if self.cc.v else 0) << 3
+        word |= (1 if self.interrupts_enabled else 0) << 7
+        word |= (self.cwp & 0xF) << 8
+        return word
+
+    def unpack(self, word: int) -> None:
+        """Load state from a PUTPSW operand (CWP bits are advisory)."""
+        self.cc = ConditionCodes(
+            z=bool(word & 1),
+            n=bool(word & 2),
+            c=bool(word & 4),
+            v=bool(word & 8),
+        )
+        self.interrupts_enabled = bool(word & 0x80)
+        self.cwp = (word >> 8) & 0xF

@@ -1,0 +1,162 @@
+"""The windowed physical register file.
+
+RISC I's central mechanism: a file of ``10 + 16 * W`` physical registers
+(138 for the paper's ``W = 8``) organized as ``W`` overlapping windows.  A
+CALL rotates the current-window pointer (CWP) forward so the caller's LOW
+registers become the callee's HIGH registers; a RETURN rotates it back.
+
+Because the windows form a circle, at most ``W - 1`` procedure frames can
+be resident at once (a ``W``-th frame's LOW registers would alias the
+oldest frame's HIGH registers).  A CALL past that limit raises a *window
+overflow*: the oldest window's 16 registers must be spilled to the
+register-save stack in memory.  A RETURN to a spilled frame raises a
+*window underflow* and the registers are filled back.  The register file
+itself only detects these conditions; the memory traffic is performed and
+accounted by the CPU runtime (:mod:`repro.core.cpu`), because that traffic
+is precisely what the paper's procedure-call experiments measure.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    NUM_WINDOWS,
+    REGS_PER_WINDOW,
+    physical_index,
+    total_physical_regs,
+)
+from repro.machine.traps import Trap, TrapKind
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+class WindowOverflow(Trap):
+    """Raised internally when a CALL finds no free window."""
+
+    def __init__(self, spill_window: int):
+        super().__init__(TrapKind.WINDOW_OVERFLOW, f"spill window {spill_window}")
+        self.spill_window = spill_window
+
+
+class WindowUnderflow(Trap):
+    """Raised internally when a RETURN targets a spilled window."""
+
+    def __init__(self, fill_window: int):
+        super().__init__(TrapKind.WINDOW_UNDERFLOW, f"fill window {fill_window}")
+        self.fill_window = fill_window
+
+
+class RegisterFile:
+    """Physical register file with overlapping windows.
+
+    The file is parameterized by the number of windows so the paper's
+    window-count sensitivity experiment (2, 4, 8 windows) can reuse it.
+    """
+
+    def __init__(self, num_windows: int = NUM_WINDOWS, spill_batch: int = 1):
+        if num_windows < 2:
+            raise ValueError(f"need at least 2 windows, got {num_windows}")
+        if spill_batch < 1:
+            raise ValueError(f"spill batch must be positive, got {spill_batch}")
+        self.num_windows = num_windows
+        #: windows reclaimed per overflow trap.  1 is the classic
+        #: demand policy; larger batches trade spill traffic for fewer
+        #: traps on deeply recursive code (experiment E14).
+        self.spill_batch = spill_batch
+        self._regs = [0] * total_physical_regs(num_windows)
+        self.cwp = 0
+        #: Number of procedure frames currently resident in the file.
+        self.resident = 1
+        #: Total call-nesting depth, which may exceed the file capacity.
+        self.depth = 1
+        #: Event counters for the evaluation.
+        self.overflows = 0
+        self.underflows = 0
+        self.calls = 0
+        self.returns = 0
+
+    # -- visible-register access ------------------------------------------
+
+    def read(self, reg: int) -> int:
+        """Read visible register ``reg`` in the current window (r0 is 0)."""
+        if reg == 0:
+            return 0
+        return self._regs[physical_index(self.cwp, reg, self.num_windows)]
+
+    def write(self, reg: int, value: int) -> None:
+        """Write visible register ``reg``; writes to r0 are discarded."""
+        if reg == 0:
+            return
+        self._regs[physical_index(self.cwp, reg, self.num_windows)] = value & _WORD_MASK
+
+    # -- physical access (spill/fill and inspection) ------------------------
+
+    def read_physical(self, index: int) -> int:
+        return self._regs[index]
+
+    def write_physical(self, index: int, value: int) -> None:
+        self._regs[index] = value & _WORD_MASK
+
+    def window_slots(self, window: int) -> list[int]:
+        """The 16 physical indices private to ``window`` (HIGH + LOCAL).
+
+        These are exactly the registers that must be spilled when the
+        window is reclaimed: the window's LOW registers are shared with a
+        younger frame that is still resident, so they stay.
+        """
+        base = 10 + REGS_PER_WINDOW * (window % self.num_windows)
+        return list(range(base, base + REGS_PER_WINDOW))
+
+    # -- window rotation -----------------------------------------------------
+
+    @property
+    def max_resident(self) -> int:
+        """Maximum frames resident at once (one window is always free)."""
+        return self.num_windows - 1
+
+    def call_advance(self) -> list[int]:
+        """Rotate to the next window for a CALL.
+
+        Returns the window indices (oldest first) whose registers must be
+        spilled if this call overflows, else an empty list.  The caller
+        (CPU runtime) performs the spills before using the new window.
+        With the default ``spill_batch`` of 1 exactly one window is
+        reclaimed per overflow.
+        """
+        self.calls += 1
+        self.depth += 1
+        spills: list[int] = []
+        if self.resident == self.max_resident:
+            batch = min(self.spill_batch, self.resident)
+            oldest = (self.cwp - (self.resident - 1)) % self.num_windows
+            spills = [(oldest + i) % self.num_windows for i in range(batch)]
+            self.overflows += 1
+            self.resident -= batch - 1
+        else:
+            self.resident += 1
+        self.cwp = (self.cwp + 1) % self.num_windows
+        return spills
+
+    def ret_retreat(self) -> int | None:
+        """Rotate back to the previous window for a RETURN.
+
+        Returns the window index whose registers must be filled from memory
+        if this return underflows, else ``None``.
+        """
+        if self.depth == 1:
+            raise Trap(TrapKind.WINDOW_UNDERFLOW, "return from the outermost frame")
+        self.returns += 1
+        self.depth -= 1
+        self.cwp = (self.cwp - 1) % self.num_windows
+        if self.resident == 1:
+            self.underflows += 1
+            return self.cwp
+        self.resident -= 1
+        return None
+
+    def note_fill(self) -> None:
+        """Record that an underflow fill completed (frame is resident again)."""
+        # resident stays 1: the filled frame replaces the one just left.
+
+    def snapshot_visible(self) -> dict[int, int]:
+        """Return {visible reg number: value} for the current window."""
+        return {reg: self.read(reg) for reg in range(32)}

@@ -1,0 +1,38 @@
+"""Trap taxonomy of the RISC I machine.
+
+RISC I keeps exceptional control flow simple: a trap freezes the pipeline
+and transfers to a software handler through CALLINT.  The simulator models
+traps as Python exceptions carrying a :class:`TrapKind`; window
+overflow/underflow is handled transparently by the runtime (with its memory
+traffic accounted), while the others terminate execution unless a handler
+is installed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TrapKind(enum.Enum):
+    """The causes of a RISC I trap."""
+
+    WINDOW_OVERFLOW = "register-window overflow"
+    WINDOW_UNDERFLOW = "register-window underflow"
+    ILLEGAL_INSTRUCTION = "illegal instruction"
+    ALIGNMENT = "misaligned memory access"
+    BUS_ERROR = "access outside physical memory"
+    HALT = "halt requested"
+
+
+class Trap(Exception):
+    """A machine trap, raised during simulation."""
+
+    def __init__(self, kind: TrapKind, detail: str = "", pc: int | None = None):
+        self.kind = kind
+        self.detail = detail
+        self.pc = pc
+        location = f" at pc={pc:#010x}" if pc is not None else ""
+        message = f"{kind.value}{location}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)

@@ -1,0 +1,285 @@
+"""The benchmark suite.
+
+Mini-C re-implementations of the paper's C benchmarks, each paired with a
+pure-Python reference implementation so every run is *verified*, not just
+timed.  ``PARAM_*`` globals in the sources are tunable through
+:meth:`Workload.source`, letting the test suite run small instances and
+the benchmark harness run paper-scale ones.
+
+Substitutions from the paper's exact programs (Baskett's Puzzle, the real
+sed) are documented in DESIGN.md §5; the suite preserves each benchmark's
+workload *class* (call-heavy recursion, byte scanning, bit manipulation,
+pointer chasing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from importlib import resources
+from typing import Callable
+
+sys.setrecursionlimit(100_000)  # reference implementations recurse deeply
+
+_PARAM_RE = "int PARAM_{name} = {old};"
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """One benchmark program plus its verification oracle."""
+
+    name: str
+    filename: str
+    description: str
+    #: "call-heavy", "loop-heavy" or "mixed" — used by the window and
+    #: call-cost experiments to pick representative programs.
+    category: str
+    default_params: dict
+    reference: Callable[..., str]
+    #: parameters to use for paper-scale benchmark runs
+    bench_params: dict = dataclasses.field(default_factory=dict)
+
+    def source(self, **overrides) -> str:
+        """The mini-C source with any ``PARAM_*`` overrides applied."""
+        text = (
+            resources.files("repro.workloads")
+            .joinpath(f"programs/{self.filename}")
+            .read_text()
+        )
+        params = {**self.default_params, **overrides}
+        for name, value in params.items():
+            pattern = rf"int PARAM_{name} = -?\d+;"
+            replacement = f"int PARAM_{name} = {value};"
+            text, count = re.subn(pattern, replacement, text)
+            if count != 1:
+                raise KeyError(f"{self.filename}: parameter {name!r} not found")
+        return text
+
+    def expected_output(self, **overrides) -> str:
+        params = {**self.default_params, **overrides}
+        return self.reference(**params)
+
+
+# -- reference implementations ----------------------------------------------------
+
+
+def _ref_ackermann(M: int, N: int) -> str:
+    def ack(m: int, n: int) -> int:
+        if m == 0:
+            return n + 1
+        if n == 0:
+            return ack(m - 1, 1)
+        return ack(m - 1, ack(m, n - 1))
+
+    return f"{ack(M, N)}\n"
+
+
+def _rand_stream(seed: int):
+    while True:
+        seed = (seed * 1309 + 13849) % 65536
+        yield seed
+
+
+def _ref_qsort(N: int) -> str:
+    rand = _rand_stream(74755)
+    data = [next(rand) for _ in range(N)]
+    data.sort()
+    checksum = sum(data[i] % 1000 for i in range(0, N, 37))
+    return f"1 {checksum}\n"
+
+
+def _ref_towers(DISKS: int) -> str:
+    return f"{2 ** DISKS - 1}\n"
+
+
+_QUEENS_SOLUTIONS = {4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724}
+
+
+def _ref_queens(N: int) -> str:
+    return f"{_QUEENS_SOLUTIONS[N]}\n"
+
+
+_SED_TEXT = (
+    "the quick brown fox jumps over the lazy dog while "
+    "the cat watches the bird and the fish in the pond; "
+    "then the fox returns to the den and the day ends"
+)
+
+
+def _ref_sed(REPS: int) -> str:
+    transformed = _SED_TEXT.replace("the", "THE")
+    count = _SED_TEXT.count("the")
+    return f"{transformed}\n{count * REPS}\n"
+
+
+_SEARCH_TEXT = (
+    "here is a sample text string with several sample "
+    "occurrences of the sample pattern inside a sample"
+)
+
+
+def _ref_string_search(REPS: int) -> str:
+    count = sum(
+        1
+        for i in range(len(_SEARCH_TEXT))
+        if _SEARCH_TEXT.startswith("sample", i)
+    )
+    return f"{count * REPS}\n"
+
+
+def _ref_bit_test(VALUES: int) -> str:
+    total = sum(bin((v * 2654435) & 0xFFFFFFFF).count("1") for v in range(VALUES))
+    return f"{total}\n"
+
+
+def _ref_linked_list(NODES: int) -> str:
+    rand = _rand_stream(12345)
+    values = sorted(next(rand) % 1000 for _ in range(NODES))
+    return f"1 {NODES} {sum(values) % 10000}\n"
+
+
+def _ref_bit_matrix(N: int, REPS: int) -> str:
+    total = 0
+    for _ in range(REPS):
+        rows = []
+        for i in range(N):
+            h = (i << 5) ^ (i << 2) ^ i
+            h ^= h << 7
+            rows.append((h | (1 << i)) & ((1 << N) - 1))
+        for k in range(N):
+            for i in range(N):
+                if (rows[i] >> k) & 1:
+                    rows[i] |= rows[k]
+        total += sum(bin(row & ((1 << N) - 1)).count("1") for row in rows)
+    return f"{total}\n"
+
+
+def _ref_quicksort_i(N: int) -> str:
+    data = sorted(((i << 7) ^ (i << 3) ^ (1000 - i)) & 1023 for i in range(N))
+    return f"1 {data[0]} {data[-1]}\n"
+
+
+def _ref_call_overhead(CALLS: int) -> str:
+    return f"{sum(range(CALLS))}\n"
+
+
+# -- the suite ----------------------------------------------------------------------
+
+ALL_WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            name="ackermann",
+            filename="ackermann.rc",
+            description="Ackermann(3, n) — extreme call intensity",
+            category="call-heavy",
+            default_params={"M": 3, "N": 3},
+            bench_params={"M": 3, "N": 5},
+            reference=_ref_ackermann,
+        ),
+        Workload(
+            name="qsort",
+            filename="qsort.rc",
+            description="recursive quicksort of pseudo-random data",
+            category="mixed",
+            default_params={"N": 200},
+            bench_params={"N": 1000},
+            reference=_ref_qsort,
+        ),
+        Workload(
+            name="towers",
+            filename="towers.rc",
+            description="Towers of Hanoi — pure recursion",
+            category="call-heavy",
+            default_params={"DISKS": 10},
+            bench_params={"DISKS": 14},
+            reference=_ref_towers,
+        ),
+        Workload(
+            name="puzzle_subscript",
+            filename="puzzle_subscript.rc",
+            description="recursive search, array-subscript variant",
+            category="mixed",
+            default_params={"N": 6},
+            bench_params={"N": 8},
+            reference=_ref_queens,
+        ),
+        Workload(
+            name="puzzle_pointer",
+            filename="puzzle_pointer.rc",
+            description="recursive search, pointer variant",
+            category="mixed",
+            default_params={"N": 6},
+            bench_params={"N": 8},
+            reference=_ref_queens,
+        ),
+        Workload(
+            name="sed",
+            filename="sed.rc",
+            description="stream-editor substitution kernel",
+            category="loop-heavy",
+            default_params={"REPS": 5},
+            bench_params={"REPS": 40},
+            reference=_ref_sed,
+        ),
+        Workload(
+            name="string_search_e",
+            filename="string_search_e.rc",
+            description="kernel E: naive substring search",
+            category="loop-heavy",
+            default_params={"REPS": 10},
+            bench_params={"REPS": 80},
+            reference=_ref_string_search,
+        ),
+        Workload(
+            name="bit_test_f",
+            filename="bit_test_f.rc",
+            description="kernel F: bit counting with shift/mask",
+            category="loop-heavy",
+            default_params={"VALUES": 300},
+            bench_params={"VALUES": 2000},
+            reference=_ref_bit_test,
+        ),
+        Workload(
+            name="linked_list_h",
+            filename="linked_list_h.rc",
+            description="kernel H: sorted linked-list insertion",
+            category="mixed",
+            default_params={"NODES": 200},
+            bench_params={"NODES": 800},
+            reference=_ref_linked_list,
+        ),
+        Workload(
+            name="bit_matrix_k",
+            filename="bit_matrix_k.rc",
+            description="kernel K: bit-matrix transitive closure",
+            category="loop-heavy",
+            default_params={"N": 12, "REPS": 2},
+            bench_params={"N": 20, "REPS": 6},
+            reference=_ref_bit_matrix,
+        ),
+        Workload(
+            name="quicksort_i",
+            filename="quicksort_i.rc",
+            description="kernel I: short quicksort",
+            category="mixed",
+            default_params={"N": 100},
+            bench_params={"N": 250},
+            reference=_ref_quicksort_i,
+        ),
+        Workload(
+            name="call_overhead",
+            filename="call_overhead.rc",
+            description="null-procedure-call microbenchmark (E7)",
+            category="call-heavy",
+            default_params={"CALLS": 500},
+            bench_params={"CALLS": 5000},
+            reference=_ref_call_overhead,
+        ),
+    )
+}
+
+#: The programs used for the paper's Table-style benchmark comparisons
+#: (everything except the E7 microbenchmark).
+BENCHMARK_SUITE = [name for name in ALL_WORKLOADS if name != "call_overhead"]

@@ -1,0 +1,188 @@
+"""Tests for the assembler and disassembler."""
+
+import pytest
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.asm.disasm import disassemble, disassemble_program
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Opcode
+
+
+def first_word(program, index=0):
+    code = next(s for s in program.segments if s.name == "code")
+    return int.from_bytes(code.data[index * 4 : index * 4 + 4], "big")
+
+
+class TestBasicAssembly:
+    def test_alu_register_form(self):
+        program = assemble("main: add r3, r1, r2\n halt")
+        inst = decode(first_word(program))
+        assert inst.opcode is Opcode.ADD
+        assert (inst.dest, inst.rs1, inst.s2, inst.imm) == (3, 1, 2, False)
+
+    def test_alu_immediate_form(self):
+        program = assemble("main: add r3, r1, #-10\n halt")
+        inst = decode(first_word(program))
+        assert inst.imm and inst.s2 == -10
+
+    def test_scc_suffix(self):
+        program = assemble("main: sub! r0, r1, r2\n halt")
+        assert decode(first_word(program)).scc
+
+    def test_cmp_pseudo(self):
+        program = assemble("main: cmp r1, r2\n halt")
+        inst = decode(first_word(program))
+        assert inst.opcode is Opcode.SUB and inst.scc and inst.dest == 0
+
+    def test_load_store(self):
+        program = assemble("main: ldl r4, 8(r1)\n stb r4, -2(r2)\n halt")
+        load = decode(first_word(program, 0))
+        store = decode(first_word(program, 1))
+        assert load.opcode is Opcode.LDL and load.s2 == 8 and load.rs1 == 1
+        assert store.opcode is Opcode.STB and store.s2 == -2 and store.dest == 4
+
+    def test_jump_to_label_is_relative(self):
+        program = assemble("main: jmp main\n nop\n halt")
+        inst = decode(first_word(program))
+        assert inst.opcode is Opcode.JMPR
+        assert inst.y == 0  # jump to self
+
+    def test_conditional_jump_mnemonics(self):
+        source = "main:\n jeq main\n jne main\n jlt main\n jge main\n halt"
+        program = assemble(source)
+        conds = [decode(first_word(program, i)).cond.name for i in range(4)]
+        assert conds == ["EQ", "NE", "LT", "GE"]
+
+    def test_call_and_ret_defaults(self):
+        program = assemble("main: call f\n nop\n halt\nf: ret\n nop")
+        call = decode(first_word(program, 0))
+        assert call.opcode is Opcode.CALLR and call.dest == 31
+        ret = decode(first_word(program, 5))  # halt expands to 3 words
+        assert ret.opcode is Opcode.RET and ret.rs1 == 31 and ret.s2 == 8
+
+    def test_set_small_constant_is_one_word(self):
+        program = assemble("main: set r5, #100\n halt")
+        inst = decode(first_word(program))
+        assert inst.opcode is Opcode.ADD and inst.s2 == 100
+
+    def test_set_large_constant_is_ldhi_add(self):
+        program = assemble("main: set r5, #0x12345678\n halt")
+        hi = decode(first_word(program, 0))
+        lo = decode(first_word(program, 1))
+        assert hi.opcode is Opcode.LDHI
+        assert lo.opcode is Opcode.ADD
+        value = ((hi.y & 0x7FFFF) << 13) + lo.s2
+        assert value & 0xFFFFFFFF == 0x12345678
+
+    def test_mov_register(self):
+        program = assemble("main: mov r5, r6\n halt")
+        inst = decode(first_word(program))
+        assert inst.opcode is Opcode.ADD and inst.rs1 == 6 and inst.imm and inst.s2 == 0
+
+    def test_data_directives_and_symbols(self):
+        source = """
+        main:   set r2, table
+                ldl r3, 0(r2)
+                halt
+        .data
+        table:  .word 1, 2, 3
+        msg:    .asciiz "hi"
+        """
+        program = assemble(source)
+        assert program.symbols["table"] % 4 == 0
+        assert program.symbols["msg"] == program.symbols["table"] + 12
+        data = next(s for s in program.segments if s.name == "data")
+        assert data.data[:4] == (1).to_bytes(4, "big")
+        assert data.data[12:15] == b"hi\0"
+
+    def test_align_and_space(self):
+        source = """
+        main: halt
+        .data
+        a: .byte 1
+        .align 4
+        b: .word 2
+        c: .space 8
+        d: .byte 3
+        """
+        program = assemble(source)
+        assert program.symbols["b"] % 4 == 0
+        assert program.symbols["d"] == program.symbols["c"] + 8
+
+    def test_equ(self):
+        program = assemble(".equ SIZE, 64\nmain: add r3, r0, #SIZE\n halt")
+        assert decode(first_word(program)).s2 == 64
+
+    def test_char_literal(self):
+        program = assemble("main: add r3, r0, #'A'\n halt")
+        assert decode(first_word(program)).s2 == 65
+
+    def test_entry_prefers_start(self):
+        program = assemble("_start: nop\nmain: halt")
+        assert program.entry == program.symbols["_start"]
+
+    def test_comments_all_styles(self):
+        source = "main: nop ; semicolon\n nop // slashes\n halt"
+        program = assemble(source)
+        assert program.code_size >= 12
+
+
+class TestAssemblerErrors:
+    def test_missing_entry(self):
+        with pytest.raises(AssemblerError, match="entry"):
+            assemble("foo: nop")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("main: nop\nmain: halt")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("main: jmp nowhere\n halt")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("main: frobnicate r1\n halt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: add r40, r1, r2\n halt")
+
+    def test_instructions_in_data_section_rejected(self):
+        with pytest.raises(AssemblerError, match="only allowed in .text"):
+            assemble(".data\nmain: add r1, r1, r1")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("main: nop\n bogus r1\n halt")
+
+
+class TestDisassembler:
+    ROUND_TRIP_LINES = [
+        "add r3, r1, r2",
+        "add! r3, r1, #10",
+        "sub r4, r2, #-5",
+        "xor r5, r5, r5",
+        "sll r6, r1, #3",
+        "ldl r4, 8(r1)",
+        "ldbu r4, 0(r2)",
+        "stl r4, -4(r1)",
+        "ret r31, #8",
+        "gtlpc r7",
+        "getpsw r7",
+        "putpsw r7",
+    ]
+
+    @pytest.mark.parametrize("line", ROUND_TRIP_LINES)
+    def test_disassembly_reassembles_identically(self, line):
+        program = assemble(f"main: {line}\n halt")
+        word = first_word(program)
+        text = disassemble(word)
+        program2 = assemble(f"main: {text}\n halt")
+        assert first_word(program2) == word
+
+    def test_program_listing_contains_labels(self):
+        listing = disassemble_program(assemble("main: nop\nloop: jmp loop\n nop\n halt"))
+        assert "main:" in listing
+        assert "loop:" in listing
+        assert "jmp" in listing

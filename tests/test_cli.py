@@ -1,0 +1,96 @@
+"""Tests for the four command-line tools."""
+
+import pytest
+
+from repro.asm.cli import main as asm_main
+from repro.cc.cli import main as cc_main
+from repro.core.cli import main as run_main
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(
+        """
+main:
+    add r2, r0, #6
+    add r2, r2, #1
+    puti r2
+    halt r2
+"""
+    )
+    return str(path)
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.rc"
+    path.write_text(
+        """
+int main() {
+    putint(6 * 7);
+    return 0;
+}
+"""
+    )
+    return str(path)
+
+
+class TestAsmCli:
+    def test_assemble(self, asm_file, capsys):
+        assert asm_main([asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "entry" in out and "code" in out
+
+    def test_disassemble_listing(self, asm_file, capsys):
+        assert asm_main([asm_file, "--disassemble"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "add r2, r0, #6" in out
+
+    def test_error_reporting(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("main:\n frobnicate r1\n")
+        assert asm_main([str(bad)]) == 1
+        assert "unknown mnemonic" in capsys.readouterr().err
+
+
+class TestRunCli:
+    def test_run_program(self, asm_file, capsys):
+        code = run_main([asm_file])
+        assert code == 7
+        assert capsys.readouterr().out == "7"
+
+    def test_stats_flag(self, asm_file, capsys):
+        run_main([asm_file, "--stats"])
+        captured = capsys.readouterr()
+        assert "instructions executed" in captured.err
+
+    def test_window_option(self, asm_file):
+        assert run_main([asm_file, "--windows", "2"]) == 7
+
+
+class TestCcCli:
+    def test_compile_and_run(self, c_file, capsys):
+        code = cc_main([c_file, "--run"])
+        assert code == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_emit_assembly(self, c_file, capsys):
+        assert cc_main([c_file, "-S"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and ".text" in out
+
+    def test_emit_ir(self, c_file, capsys):
+        assert cc_main([c_file, "--ir"]) == 0
+        assert "func main" in capsys.readouterr().out
+
+    def test_cisc_target(self, c_file, capsys):
+        code = cc_main([c_file, "--target", "cisc", "--run"])
+        assert code == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rc"
+        bad.write_text("int main() { return undefined_thing; }")
+        assert cc_main([str(bad)]) == 1
+        assert "undefined" in capsys.readouterr().err

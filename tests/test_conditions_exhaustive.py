@@ -1,0 +1,109 @@
+"""Exhaustive tests of the 16 jump conditions.
+
+Every condition is checked two ways: directly against
+:func:`repro.isa.conditions.cond_holds` over all 16 condition-code
+states, and end-to-end on the simulator by comparing pairs of integers
+with every conditional-jump mnemonic.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.core import CPU
+from repro.isa.conditions import COND_MNEMONICS, Cond, ConditionCodes, cond_holds
+
+#: reference semantics for each condition, over (z, n, c, v)
+REFERENCE = {
+    Cond.NOP: lambda z, n, c, v: False,
+    Cond.ALW: lambda z, n, c, v: True,
+    Cond.EQ: lambda z, n, c, v: z,
+    Cond.NE: lambda z, n, c, v: not z,
+    Cond.MI: lambda z, n, c, v: n,
+    Cond.PL: lambda z, n, c, v: not n,
+    Cond.V: lambda z, n, c, v: v,
+    Cond.NV: lambda z, n, c, v: not v,
+    Cond.LT: lambda z, n, c, v: n != v,
+    Cond.GE: lambda z, n, c, v: n == v,
+    Cond.GT: lambda z, n, c, v: not z and n == v,
+    Cond.LE: lambda z, n, c, v: z or n != v,
+    Cond.HI: lambda z, n, c, v: c and not z,
+    Cond.LOS: lambda z, n, c, v: not c or z,
+    Cond.HISC: lambda z, n, c, v: c,
+    Cond.LONC: lambda z, n, c, v: not c,
+}
+
+
+def test_all_16_conditions_against_reference():
+    for cond in Cond:
+        for z, n, c, v in itertools.product((False, True), repeat=4):
+            cc = ConditionCodes(z=z, n=n, c=c, v=v)
+            assert cond_holds(cond, cc) == REFERENCE[cond](z, n, c, v), (
+                cond,
+                (z, n, c, v),
+            )
+
+
+def test_every_condition_has_a_unique_mnemonic():
+    assert len(COND_MNEMONICS) == 16
+    assert len(set(COND_MNEMONICS.values())) == 16
+
+
+#: signed/unsigned comparison semantics per jump mnemonic after CMP a, b
+COMPARE_SEMANTICS = {
+    "jeq": lambda a, b, ua, ub: a == b,
+    "jne": lambda a, b, ua, ub: a != b,
+    "jlt": lambda a, b, ua, ub: a < b,
+    "jle": lambda a, b, ua, ub: a <= b,
+    "jgt": lambda a, b, ua, ub: a > b,
+    "jge": lambda a, b, ua, ub: a >= b,
+    "jlo": lambda a, b, ua, ub: ua < ub,
+    "jlos": lambda a, b, ua, ub: ua <= ub,
+    "jhi": lambda a, b, ua, ub: ua > ub,
+    "jhs": lambda a, b, ua, ub: ua >= ub,
+    "jmi": lambda a, b, ua, ub: a - b < 0 or (a - b) & 0xFFFFFFFF >= 0x80000000,
+    "jpl": lambda a, b, ua, ub: not (a - b < 0 or (a - b) & 0xFFFFFFFF >= 0x80000000),
+}
+
+INTERESTING = [-(1 << 31), -(1 << 16), -2, -1, 0, 1, 2, (1 << 16), (1 << 31) - 1]
+
+
+def _taken(mnemonic: str, a: int, b: int) -> bool:
+    source = f"""
+    main:
+        set r2, #{a}
+        set r3, #{b}
+        cmp r2, r3
+        {mnemonic} yes
+        nop
+        halt r0
+    yes:
+        add r4, r0, #1
+        halt r4
+    """
+    cpu = CPU()
+    cpu.load(assemble(source))
+    return cpu.run().exit_code == 1
+
+
+@pytest.mark.parametrize("mnemonic", sorted(set(COMPARE_SEMANTICS) - {"jmi", "jpl"}))
+def test_comparison_jumps_on_interesting_pairs(mnemonic):
+    reference = COMPARE_SEMANTICS[mnemonic]
+    for a in INTERESTING:
+        for b in INTERESTING:
+            ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+            assert _taken(mnemonic, a, b) == reference(a, b, ua, ub), (mnemonic, a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mnemonic=st.sampled_from(["jeq", "jne", "jlt", "jge", "jhi", "jlos"]),
+    a=st.integers(-(1 << 31), (1 << 31) - 1),
+    b=st.integers(-(1 << 31), (1 << 31) - 1),
+)
+def test_comparison_jumps_property(mnemonic, a, b):
+    reference = COMPARE_SEMANTICS[mnemonic]
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    assert _taken(mnemonic, a, b) == reference(a, b, ua, ub)

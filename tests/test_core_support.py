@@ -1,0 +1,106 @@
+"""Unit tests for the support modules: programs, statistics, timing, and
+the HLL profiler."""
+
+import pytest
+
+from repro.core.program import Program, Segment
+from repro.core.stats import ExecutionStats
+from repro.core.timing import RiscTiming
+from repro.isa.opcodes import Category, Opcode
+
+
+class TestProgram:
+    def make(self):
+        code = Segment(0x1000, b"\x00" * 16, name="code")
+        data = Segment(0x2000, b"\xff" * 8, name="data")
+        return Program((code, data), entry=0x1000, symbols={"main": 0x1000})
+
+    def test_sizes(self):
+        program = self.make()
+        assert program.code_size == 16  # code only: the paper's metric
+        assert program.total_size == 24
+
+    def test_segment_end(self):
+        assert Segment(0x1000, b"abcd").end == 0x1004
+
+    def test_symbol_lookup(self):
+        program = self.make()
+        assert program.symbol("main") == 0x1000
+        with pytest.raises(KeyError, match="undefined symbol"):
+            program.symbol("nothing")
+
+    def test_describe_falls_back_to_address(self):
+        assert self.make().describe(0x1234) == "0x00001234"
+
+    def test_code_size_without_code_segment(self):
+        program = Program((Segment(0, b"ab", name="blob"),), entry=0)
+        assert program.code_size == 2
+
+
+class TestExecutionStats:
+    def test_record_and_mix(self):
+        stats = ExecutionStats()
+        stats.record(Opcode.ADD, 1)
+        stats.record(Opcode.ADD, 1)
+        stats.record(Opcode.LDL, 2)
+        assert stats.instructions == 3
+        assert stats.cycles == 4
+        mix = stats.mix()
+        assert abs(mix[Category.ARITH] - 2 / 3) < 1e-9
+        assert abs(mix[Category.MEMORY] - 1 / 3) < 1e-9
+
+    def test_data_references(self):
+        stats = ExecutionStats(data_reads=3, data_writes=4)
+        assert stats.data_references == 7
+
+    def test_summary_handles_zero_instructions(self):
+        assert "n/a" in ExecutionStats().summary()
+
+
+class TestRiscTiming:
+    def test_default_model(self):
+        timing = RiscTiming()
+        assert timing.instruction_cycles(Opcode.ADD) == 1
+        assert timing.instruction_cycles(Opcode.LDL) == 2
+        assert timing.instruction_cycles(Opcode.STB) == 2
+        assert timing.instruction_cycles(Opcode.CALLR) == 1
+        assert timing.overflow_handler_cycles == 8 + 16 * 2
+
+    def test_memory_cost_knob(self):
+        slow = RiscTiming(memory_op_cycles=5)
+        assert slow.instruction_cycles(Opcode.LDL) == 5
+        assert slow.instruction_cycles(Opcode.ADD) == 1
+        assert slow.overflow_handler_cycles == 8 + 16 * 5
+
+    def test_time_conversions(self):
+        timing = RiscTiming()
+        assert timing.nanoseconds(10) == 4000.0
+        assert timing.milliseconds(2500) == 1.0
+
+
+class TestHllProfiler:
+    def test_dynamic_counts_on_one_workload(self):
+        from repro.analysis.hll import dynamic_statement_counts
+
+        counts = dynamic_statement_counts(["towers"])
+        assert counts["call"] > 1000  # hanoi recursion
+        assert counts["if"] > 1000
+        assert counts["return"] > 1000
+
+    def test_weights_are_positive_for_real_classes(self):
+        from repro.analysis.hll import statement_weights
+
+        weights = statement_weights("risc1")
+        for cls in ("assignment", "if", "loop", "call"):
+            assert weights[cls].instructions > 0, cls
+            assert weights[cls].cycles > 0, cls
+        # calls are the most instruction-hungry class on any machine
+        assert weights["call"].instructions >= weights["assignment"].instructions
+
+    def test_weighted_table_shares_sum_to_100(self):
+        from repro.analysis.hll import weighted_statement_table
+
+        rows = weighted_statement_table("risc1", ["towers", "sed"])
+        assert abs(sum(r.executed_pct for r in rows) - 100.0) < 1e-6
+        assert abs(sum(r.instruction_weighted_pct for r in rows) - 100.0) < 1e-6
+        assert abs(sum(r.memref_weighted_pct for r in rows) - 100.0) < 1e-6

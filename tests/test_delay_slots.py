@@ -1,0 +1,168 @@
+"""Unit tests for the delay-slot optimizer, plus semantics tests showing
+filled slots execute correctly on the simulator."""
+
+from repro.asm import assemble
+from repro.cc.delay import DelayStats, optimize
+from repro.core import CPU
+
+
+def lines_of(text: str) -> list[str]:
+    return [line.strip() for line in text.splitlines() if line.strip()]
+
+
+class TestPeephole:
+    def test_jump_to_next_removed(self):
+        source = "\n".join([
+            "main:",
+            "    add r2, r0, #1",
+            "    jmp next",
+            "    nop",
+            "next:",
+            "    halt r2",
+        ])
+        optimized, stats = optimize(source)
+        assert stats.jumps_to_next_removed == 1
+        assert "jmp" not in optimized
+
+    def test_unconditional_jump_takes_preceding_instruction(self):
+        source = "\n".join([
+            "main:",
+            "    add r2, r0, #1",
+            "    add r3, r0, #2",
+            "    jmp away",
+            "    nop",
+            "    add r4, r0, #3",
+            "away:",
+            "    halt r2",
+        ])
+        optimized, stats = optimize(source)
+        assert stats.jump_slots_filled == 1
+        body = lines_of(optimized)
+        jump_at = next(i for i, l in enumerate(body) if l.startswith("jmp"))
+        assert body[jump_at + 1].startswith("add r3")  # moved into the slot
+
+    def test_candidate_feeding_compare_not_moved(self):
+        source = "\n".join([
+            "main:",
+            "    add r2, r0, #1",
+            "    sub! r0, r2, #1",
+            "    jeq away",
+            "    nop",
+            "away:",
+            "    halt r2",
+        ])
+        optimized, stats = optimize(source)
+        body = lines_of(optimized)
+        jump_at = next(i for i, l in enumerate(body) if l.startswith("jeq"))
+        assert body[jump_at + 1] == "nop"
+
+    def test_labelled_candidate_not_moved(self):
+        source = "\n".join([
+            "main:",
+            "target:",
+            "    add r3, r0, #2",
+            "    jmp target",
+            "    nop",
+        ])
+        optimized, stats = optimize(source)
+        body = lines_of(optimized)
+        # the candidate is a jump target: it must not move, but the
+        # target-copy fallback may duplicate it into the slot
+        assert "add r3, r0, #2" in body[body.index("target:") + 1]
+
+    def test_call_slot_takes_argument_move(self):
+        source = "\n".join([
+            "main:",
+            "    add r2, r0, #0",
+            "    add r10, r0, #5",
+            "    call f",
+            "    nop",
+            "    halt r10",
+            "f:",
+            "    ret",
+            "    nop",
+        ])
+        optimized, stats = optimize(source)
+        assert stats.call_slots_filled == 1
+        body = lines_of(optimized)
+        call_at = next(i for i, l in enumerate(body) if l.startswith("call"))
+        assert body[call_at + 1].startswith("add r10")
+
+    def test_existing_delay_slot_never_stolen(self):
+        source = "\n".join([
+            "main:",
+            "    call f",
+            "    add r10, r0, #1",  # already f's delay slot (pre-filled)
+            "    sub! r0, r10, #1",
+            "    jeq away",
+            "    nop",
+            "away:",
+            "    halt r10",
+            "f:",
+            "    ret",
+            "    nop",
+        ])
+        optimized, stats = optimize(source)
+        body = lines_of(optimized)
+        call_at = next(i for i, l in enumerate(body) if l.startswith("call"))
+        assert body[call_at + 1].startswith("add r10")  # still in place
+
+    def test_stats_properties(self):
+        stats = DelayStats(jump_slots=4, jump_slots_filled=2, call_slots=2,
+                           call_slots_filled=1, ret_slots=2, ret_slots_filled=2)
+        assert stats.total_slots == 8
+        assert stats.total_filled == 5
+        assert abs(stats.fill_rate - 5 / 8) < 1e-9
+
+    def test_empty_module(self):
+        optimized, stats = optimize("")
+        assert stats.total_slots == 0
+
+
+class TestFilledSlotsExecuteCorrectly:
+    """The optimizer's output must behave identically when simulated."""
+
+    def run_both(self, source: str) -> tuple[int, int]:
+        raw_cpu = CPU()
+        raw_cpu.load(assemble(source))
+        raw = raw_cpu.run()
+        optimized, _ = optimize(source)
+        opt_cpu = CPU()
+        opt_cpu.load(assemble(optimized))
+        opt = opt_cpu.run()
+        return raw.exit_code, opt.exit_code
+
+    def test_loop_with_back_edge(self):
+        source = "\n".join([
+            "main:",
+            "    add r2, r0, #0",
+            "    add r3, r0, #0",
+            "loop:",
+            "    cmp r3, #10",
+            "    jge done",
+            "    nop",
+            "    add r2, r2, r3",
+            "    add r3, r3, #1",
+            "    jmp loop",
+            "    nop",
+            "done:",
+            "    halt r2",
+        ])
+        raw, optimized = self.run_both(source)
+        assert raw == optimized == sum(range(10))
+
+    def test_call_chain_with_argument_moves(self):
+        source = "\n".join([
+            "main:",
+            "    add r10, r0, #3",
+            "    call triple",
+            "    nop",
+            "    halt r10",
+            "triple:",
+            "    add r16, r26, r26",
+            "    add r26, r16, r26",
+            "    ret",
+            "    nop",
+        ])
+        raw, optimized = self.run_both(source)
+        assert raw == optimized == 9

@@ -1,0 +1,108 @@
+"""Tests for the compiler driver API surface and batched window spilling."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cc.driver import compile_program, compile_to_assembly, run_compiled
+from repro.cc.errors import CompileError
+from repro.core import CPU
+from repro.machine.regfile import RegisterFile
+
+SUM_SOURCE = """
+main:
+    add r10, r0, #30
+    call sum
+    nop
+    halt r10
+sum:
+    cmp r26, r0
+    jne recurse
+    nop
+    add r26, r0, #0
+    ret
+    nop
+recurse:
+    sub r10, r26, #1
+    call sum
+    nop
+    add r26, r10, r26
+    ret
+    nop
+"""
+
+
+class TestDriver:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(CompileError, match="unknown target"):
+            compile_program("int main() { return 0; }", target="mips")
+
+    def test_compile_to_assembly_text(self):
+        asm = compile_to_assembly("int main() { return 3; }")
+        assert ".text" in asm and "main:" in asm
+
+    def test_unoptimized_compilation_has_no_delay_stats(self):
+        compiled = compile_program(
+            "int main() { return 0; }", fill_delay_slots=False
+        )
+        assert compiled.delay_stats is None
+        assert run_compiled(compiled).exit_code == 0
+
+    def test_optimized_is_never_larger(self):
+        source = """
+        int f(int n) { if (n == 0) return 0; return n + f(n - 1); }
+        int main() { return f(10); }
+        """
+        optimized = compile_program(source, fill_delay_slots=True)
+        raw = compile_program(source, fill_delay_slots=False)
+        assert optimized.code_size <= raw.code_size
+        assert run_compiled(optimized).exit_code == run_compiled(raw).exit_code == 55
+
+    def test_compiled_program_exposes_ir(self):
+        compiled = compile_program("int main() { return 0; }")
+        assert compiled.ir.function("main")
+
+
+class TestSpillBatching:
+    def run(self, windows, batch):
+        cpu = CPU(num_windows=windows, spill_batch=batch)
+        cpu.load(assemble(SUM_SOURCE))
+        return cpu.run()
+
+    def test_results_identical_across_policies(self):
+        expected = sum(range(31))
+        for batch in (1, 2, 3, 4):
+            result = self.run(4, batch)
+            assert result.exit_code == expected, f"batch={batch}"
+
+    def test_batching_reduces_trap_count(self):
+        demand = self.run(4, 1)
+        batched = self.run(4, 3)
+        assert batched.stats.window_overflows < demand.stats.window_overflows
+
+    def test_batching_increases_per_trap_spill(self):
+        batched = self.run(4, 3)
+        assert (
+            batched.stats.spilled_registers
+            > 16 * batched.stats.window_overflows
+        )
+
+    def test_regfile_batch_arithmetic(self):
+        regs = RegisterFile(num_windows=4, spill_batch=2)
+        assert regs.call_advance() == []
+        assert regs.call_advance() == []
+        spills = regs.call_advance()
+        assert len(spills) == 2
+        assert regs.resident == 2  # 3 - 2 spilled + 1 new frame
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(spill_batch=0)
+        with pytest.raises(ValueError):
+            CPU(spill_batch=-1)
+
+    def test_batch_larger_than_resident_is_clamped(self):
+        regs = RegisterFile(num_windows=3, spill_batch=10)
+        regs.call_advance()  # resident 2 == max
+        spills = regs.call_advance()
+        assert len(spills) == 2  # clamped to the resident frames
+        assert regs.resident == 1

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run to completion and print
+its headline result.  Examples are documentation that executes; a broken
+example is a broken README."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["55", "code size"],
+    "register_windows.py": ["820", "windows"],
+    "compile_and_run.py": ["RISC I", "VAX-like", "the whole paper"],
+    "window_study.py": ["towers", "ackermann"],
+    "paper_tables.py": ["31 instructions", "opcode(7)"],
+    "trace_demo.py": ["window rotations: 2"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    buffer = io.StringIO()
+    argv = sys.argv
+    try:
+        sys.argv = [script]
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = argv
+    output = buffer.getvalue()
+    for fragment in EXPECTATIONS[script]:
+        assert fragment in output, f"{script}: missing {fragment!r}"
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTATIONS)

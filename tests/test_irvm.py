@@ -1,0 +1,99 @@
+"""Tests for the IR interpreter (the compiler-correctness oracle)."""
+
+import pytest
+
+from repro.cc.driver import compile_to_ir
+from repro.cc.errors import CompileError
+from repro.cc.irvm import run_ir
+
+
+def run(source: str):
+    return run_ir(compile_to_ir(source))
+
+
+class TestBasics:
+    def test_exit_code(self):
+        assert run("int main() { return 42; }").exit_code == 42
+
+    def test_output(self):
+        result = run('int main() { putint(7); putchar(10); puts("hi"); return 0; }')
+        assert result.output == "7\nhi"
+
+    def test_globals_and_strings(self):
+        source = """
+        int x = 5;
+        char *msg = "ok";
+        int main() { puts(msg); return x; }
+        """
+        result = run(source)
+        assert result.output == "ok" and result.exit_code == 5
+
+    def test_negative_global_initializer(self):
+        assert run("int x = -9; int main() { return x; }").exit_code == -9
+
+    def test_arrays_have_real_addresses(self):
+        source = """
+        int a[4];
+        int main() {
+            int *p = a + 2;
+            *p = 77;
+            return a[2];
+        }
+        """
+        assert run(source).exit_code == 77
+
+    def test_recursion_restores_stack(self):
+        source = """
+        int depth(int n) {
+            int local[8];
+            local[0] = n;
+            if (n == 0) return 0;
+            return local[0] + depth(n - 1);
+        }
+        int main() { return depth(50); }
+        """
+        assert run(source).exit_code == sum(range(51))
+
+    def test_division_by_zero_raises(self):
+        source = "int id(int x) { return x; } int main() { return 1 / id(0); }"
+        with pytest.raises(CompileError, match="division by zero"):
+            run(source)
+
+
+class TestDynamicProfile:
+    def test_statement_markers_counted(self):
+        source = """
+        int f(int n) { return n; }
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 10; i++) total += f(i);
+            return total;
+        }
+        """
+        counts = run(source).counts
+        assert counts.ops["stmt:loop"] == 11  # 10 iterations + final test
+        assert counts.ops["stmt:call"] == 10
+        assert counts.ops["stmt:return"] >= 11
+
+    def test_op_counts_by_kind(self):
+        source = """
+        int a[4];
+        int main() {
+            a[0] = 1;
+            a[1] = a[0] * 3;
+            return a[1];
+        }
+        """
+        counts = run(source).counts
+        assert counts.ops["store:4"] == 2
+        assert counts.ops["load:4"] >= 2
+        assert counts.ops["binop:*"] == 1
+
+    def test_call_depth_tracked(self):
+        source = """
+        int down(int n) { if (n == 0) return 0; return down(n - 1); }
+        int main() { return down(9); }
+        """
+        counts = run(source).counts
+        assert counts.max_depth == 11  # main + 10 nested frames
+        assert counts.calls == 11

@@ -1,0 +1,137 @@
+"""Tests for instruction encoding and decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.conditions import Cond
+from repro.isa.encoding import (
+    EncodingError,
+    Instruction,
+    S2_MAX,
+    S2_MIN,
+    Y_MAX,
+    Y_MIN,
+    decode,
+    encode,
+    format_fields,
+)
+from repro.isa.opcodes import (
+    ALL_OPCODES,
+    Category,
+    Format,
+    INSTRUCTION_SET_TABLE,
+    Opcode,
+    opcode_info,
+)
+
+
+class TestInstructionSetShape:
+    def test_exactly_31_instructions(self):
+        """The defining number of the paper."""
+        assert len(INSTRUCTION_SET_TABLE) == 31
+        assert len(set(ALL_OPCODES)) == 31
+
+    def test_category_counts(self):
+        counts = {}
+        for info in INSTRUCTION_SET_TABLE:
+            counts[info.category] = counts.get(info.category, 0) + 1
+        assert counts[Category.ARITH] == 12
+        assert counts[Category.MEMORY] == 8
+        assert counts[Category.CONTROL] == 7
+        assert counts[Category.MISC] == 4
+
+    def test_only_memory_category_touches_memory(self):
+        for info in INSTRUCTION_SET_TABLE:
+            assert info.memory_access == (info.category == Category.MEMORY)
+
+    def test_memory_ops_take_two_cycles_others_one(self):
+        for info in INSTRUCTION_SET_TABLE:
+            assert info.cycles == (2 if info.memory_access else 1)
+
+    def test_opcode_info_lookup_by_all_keys(self):
+        info = opcode_info(Opcode.ADD)
+        assert opcode_info("add") is info
+        assert opcode_info("ADD") is info
+        assert opcode_info(int(Opcode.ADD)) is info
+
+    def test_opcode_info_unknown(self):
+        with pytest.raises(KeyError):
+            opcode_info("frob")
+        with pytest.raises(KeyError):
+            opcode_info(0x7F)
+
+    def test_format_fields_sum_to_32_bits(self):
+        for fmt in (Format.SHORT, Format.LONG):
+            assert sum(width for _, width in format_fields(fmt)) == 32
+
+
+class TestEncodeDecode:
+    def test_simple_add(self):
+        inst = Instruction.short(Opcode.ADD, dest=3, rs1=1, s2=2)
+        word = encode(inst)
+        assert decode(word) == inst
+
+    def test_immediate_sign_extension(self):
+        inst = Instruction.short(Opcode.ADD, dest=3, rs1=1, s2=-1, imm=True)
+        assert decode(encode(inst)).s2 == -1
+
+    def test_long_format_round_trip(self):
+        inst = Instruction.long(Opcode.JMPR, dest=int(Cond.EQ), y=-2048)
+        decoded = decode(encode(inst))
+        assert decoded.y == -2048
+        assert decoded.cond is Cond.EQ
+
+    def test_illegal_opcode_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(0x7F << 25)
+
+    def test_out_of_range_fields_rejected(self):
+        with pytest.raises(EncodingError):
+            Instruction.short(Opcode.ADD, dest=32)
+        with pytest.raises(EncodingError):
+            Instruction.short(Opcode.ADD, s2=S2_MAX + 1, imm=True)
+        with pytest.raises(EncodingError):
+            Instruction.long(Opcode.LDHI, y=Y_MAX + 1)
+
+    def test_word_out_of_range(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+    @given(
+        opcode=st.sampled_from([o for o in ALL_OPCODES if opcode_info(o).format is Format.SHORT]),
+        dest=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        scc=st.booleans(),
+        imm=st.booleans(),
+        data=st.data(),
+    )
+    def test_short_round_trip_property(self, opcode, dest, rs1, scc, imm, data):
+        if imm:
+            s2 = data.draw(st.integers(S2_MIN, S2_MAX))
+        else:
+            s2 = data.draw(st.integers(0, 31))
+        inst = Instruction.short(opcode, dest=dest, rs1=rs1, s2=s2, imm=imm, scc=scc)
+        assert decode(encode(inst)) == inst
+
+    @given(
+        opcode=st.sampled_from([o for o in ALL_OPCODES if opcode_info(o).format is Format.LONG]),
+        dest=st.integers(0, 31),
+        y=st.integers(Y_MIN, Y_MAX),
+    )
+    def test_long_round_trip_property(self, opcode, dest, y):
+        inst = Instruction.long(opcode, dest=dest, y=y)
+        assert decode(encode(inst)) == inst
+
+    @given(word=st.integers(0, 0xFFFFFFFF))
+    def test_decode_never_crashes_on_legal_opcodes(self, word):
+        try:
+            inst = decode(word)
+        except EncodingError:
+            return  # illegal opcode: the trap path
+        # Re-encoding a decoded word must always succeed (decode normalizes
+        # the unused upper bits of a register-form s2 field, so the word
+        # itself need not round-trip bit-for-bit).
+        redecoded = decode(encode(inst))
+        assert redecoded == inst

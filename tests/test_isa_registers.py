@@ -1,0 +1,101 @@
+"""Tests for the register-window visibility map."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    GLOBAL_REGS,
+    HIGH_REGS,
+    LOCAL_REGS,
+    LOW_REGS,
+    NUM_WINDOWS,
+    REGS_PER_WINDOW,
+    TOTAL_PHYSICAL_REGS,
+    RegisterClass,
+    classify_register,
+    physical_index,
+    total_physical_regs,
+)
+
+
+class TestClassification:
+    def test_partition_is_complete_and_disjoint(self):
+        seen = []
+        for reg in range(32):
+            seen.append(classify_register(reg))
+        assert seen.count(RegisterClass.GLOBAL) == 10
+        assert seen.count(RegisterClass.LOW) == 6
+        assert seen.count(RegisterClass.LOCAL) == 10
+        assert seen.count(RegisterClass.HIGH) == 6
+
+    def test_boundaries(self):
+        assert classify_register(9) is RegisterClass.GLOBAL
+        assert classify_register(10) is RegisterClass.LOW
+        assert classify_register(15) is RegisterClass.LOW
+        assert classify_register(16) is RegisterClass.LOCAL
+        assert classify_register(25) is RegisterClass.LOCAL
+        assert classify_register(26) is RegisterClass.HIGH
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            classify_register(32)
+        with pytest.raises(ValueError):
+            classify_register(-1)
+
+
+class TestPhysicalMapping:
+    def test_paper_design_has_138_registers(self):
+        assert TOTAL_PHYSICAL_REGS == 138
+        assert total_physical_regs(8) == 138
+
+    def test_globals_shared_across_windows(self):
+        for window in range(NUM_WINDOWS):
+            for reg in GLOBAL_REGS:
+                assert physical_index(window, reg) == reg
+
+    def test_overlap_invariant_caller_low_is_callee_high(self):
+        """The paper's key property: caller r10+i aliases callee r26+i."""
+        for window in range(NUM_WINDOWS):
+            callee = (window + 1) % NUM_WINDOWS
+            for i in range(6):
+                assert physical_index(window, LOW_REGS.start + i) == physical_index(
+                    callee, HIGH_REGS.start + i
+                )
+
+    def test_locals_are_private(self):
+        """No window's LOCAL register aliases any other window's register."""
+        owners = {}
+        for window in range(NUM_WINDOWS):
+            for reg in LOCAL_REGS:
+                slot = physical_index(window, reg)
+                assert slot not in owners, f"alias: {owners.get(slot)} vs {(window, reg)}"
+                owners[slot] = (window, reg)
+
+    def test_within_window_no_aliasing(self):
+        for window in range(NUM_WINDOWS):
+            slots = [physical_index(window, reg) for reg in range(32)]
+            assert len(set(slots)) == 32
+
+    @given(
+        window=st.integers(min_value=0, max_value=7),
+        reg=st.integers(min_value=0, max_value=31),
+    )
+    def test_mapping_in_bounds(self, window, reg):
+        slot = physical_index(window, reg)
+        assert 0 <= slot < TOTAL_PHYSICAL_REGS
+
+    @given(windows=st.integers(min_value=2, max_value=16))
+    def test_overlap_holds_for_any_window_count(self, windows):
+        for window in range(windows):
+            callee = (window + 1) % windows
+            for i in range(6):
+                low = physical_index(window, 10 + i, windows)
+                high = physical_index(callee, 26 + i, windows)
+                assert low == high
+
+    def test_total_size_formula(self):
+        for windows in (2, 4, 8, 16):
+            assert total_physical_regs(windows) == 10 + 16 * windows
+
+    def test_regs_per_window_matches_spill_unit(self):
+        assert REGS_PER_WINDOW == 16

@@ -1,0 +1,145 @@
+"""Unit and property tests for the linear-scan register allocator."""
+
+from hypothesis import given, strategies as st
+
+from repro.cc import ir
+from repro.cc.regalloc import Allocation, allocate, defs_uses, live_ranges
+
+
+def temps(*ids):
+    return [ir.Temp(i) for i in ids]
+
+
+class TestDefsUses:
+    def test_binop(self):
+        t0, t1, t2 = temps(0, 1, 2)
+        d, u = defs_uses(ir.BinOp(t2, "+", t0, t1))
+        assert d == [t2] and set(u) == {t0, t1}
+
+    def test_constants_are_not_uses(self):
+        (t0,) = temps(0)
+        d, u = defs_uses(ir.BinOp(t0, "+", 5, 7))
+        assert d == [t0] and u == []
+
+    def test_store_has_no_defs(self):
+        t0, t1 = temps(0, 1)
+        d, u = defs_uses(ir.Store(t0, t1, 4))
+        assert d == [] and set(u) == {t0, t1}
+
+    def test_call(self):
+        t0, t1 = temps(0, 1)
+        d, u = defs_uses(ir.Call(t0, "f", [t1, 3]))
+        assert d == [t0] and u == [t1]
+        d, u = defs_uses(ir.Call(None, "f", []))
+        assert d == [] and u == []
+
+    def test_markers_and_labels_are_neutral(self):
+        assert defs_uses(ir.Marker("call")) == ([], [])
+        assert defs_uses(ir.Label("x")) == ([], [])
+
+
+class TestLiveRanges:
+    def test_straight_line(self):
+        t0, t1 = temps(0, 1)
+        instrs = [
+            ir.Const(t0, 1),          # 0
+            ir.Const(t1, 2),          # 1
+            ir.BinOp(t0, "+", t0, t1),  # 2
+            ir.Ret(t0),               # 3
+        ]
+        ranges = {r.temp: (r.start, r.end) for r in live_ranges(instrs)}
+        assert ranges[t0] == (0, 3)
+        assert ranges[t1] == (1, 2)
+
+    def test_loop_extends_ranges_across_back_edge(self):
+        t0, t1 = temps(0, 1)
+        instrs = [
+            ir.Const(t0, 1),            # 0: defined before the loop
+            ir.Label("top"),            # 1
+            ir.BinOp(t1, "+", t0, 1),   # 2: t0 used inside the loop
+            ir.CBranch("<", t1, 10, "top"),  # 3: back edge
+            ir.Ret(t0),                 # 4
+        ]
+        ranges = {r.temp: (r.start, r.end) for r in live_ranges(instrs)}
+        # without the back-edge fix t1's range would end at 3 anyway, but
+        # t0 must cover the whole loop body
+        assert ranges[t0][1] == 4
+        assert ranges[t1][1] >= 3
+
+
+class TestAllocate:
+    def test_disjoint_ranges_share_a_register(self):
+        t0, t1 = temps(0, 1)
+        instrs = [
+            ir.Const(t0, 1),
+            ir.Ret(t0),
+            ir.Const(t1, 2),
+            ir.Ret(t1),
+        ]
+        alloc = allocate(instrs, pool=[16])
+        assert alloc.registers[t0] == alloc.registers[t1] == 16
+        assert not alloc.spills
+
+    def test_overlapping_ranges_get_distinct_registers(self):
+        t0, t1 = temps(0, 1)
+        instrs = [
+            ir.Const(t0, 1),
+            ir.Const(t1, 2),
+            ir.BinOp(t0, "+", t0, t1),
+            ir.Ret(t0),
+        ]
+        alloc = allocate(instrs, pool=[16, 17])
+        assert alloc.registers[t0] != alloc.registers[t1]
+
+    def test_spilling_when_pool_exhausted(self):
+        ts = temps(0, 1, 2)
+        instrs = [ir.Const(t, i) for i, t in enumerate(ts)]
+        instrs.append(ir.BinOp(ts[0], "+", ts[1], ts[2]))
+        instrs.append(ir.Ret(ts[0]))
+        alloc = allocate(instrs, pool=[16, 17])
+        assert len(alloc.spills) == 1
+        assert alloc.num_spill_slots == 1
+        # every temp is placed somewhere
+        placed = set(alloc.registers) | set(alloc.spills)
+        assert placed == set(ts)
+
+    @given(
+        num_temps=st.integers(1, 20),
+        pool_size=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_allocation_is_total_and_conflict_free(self, num_temps, pool_size, seed):
+        import random
+
+        rng = random.Random(seed)
+        instrs = []
+        live = []
+        for i in range(num_temps):
+            t = ir.Temp(i)
+            instrs.append(ir.Const(t, i))
+            live.append(t)
+            if len(live) >= 2 and rng.random() < 0.6:
+                a, b = rng.sample(live, 2)
+                instrs.append(ir.BinOp(a, "+", a, b))
+            if rng.random() < 0.3:
+                live.remove(rng.choice(live))
+        for t in live:
+            instrs.append(ir.Ret(t))
+
+        pool = list(range(16, 16 + pool_size))
+        alloc = allocate(instrs, pool)
+        all_temps = {ir.Temp(i) for i in range(num_temps)}
+        assert set(alloc.registers) | set(alloc.spills) >= all_temps
+        assert not (set(alloc.registers) & set(alloc.spills))
+        # no two overlapping live ranges share a register
+        ranges = {r.temp: r for r in live_ranges(instrs)}
+        assigned = [(t, reg) for t, reg in alloc.registers.items()]
+        for i, (t1, r1) in enumerate(assigned):
+            for t2, r2 in assigned[i + 1 :]:
+                if r1 != r2:
+                    continue
+                a, b = ranges[t1], ranges[t2]
+                overlap = a.start <= b.end and b.start <= a.end
+                # shared register requires truly disjoint ranges; touching
+                # endpoints would mean a conflict at that instruction
+                assert not overlap, (t1, t2, r1)

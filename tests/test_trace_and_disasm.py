@@ -1,0 +1,151 @@
+"""Tests for the execution tracer and the VAX disassembler, plus
+property-based round-trip tests over the full RISC I instruction set."""
+
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble, disassemble
+from repro.baselines.vax.assembler import assemble_vax
+from repro.baselines.vax.disasm import disassemble_one, disassemble_vax_program
+from repro.cc.driver import compile_program
+from repro.core import CPU
+from repro.core.trace import trace_run
+from repro.isa.conditions import Cond
+from repro.isa.encoding import Instruction, S2_MAX, S2_MIN, Y_MAX, Y_MIN, encode
+from repro.isa.opcodes import ALL_OPCODES, Format, Opcode, opcode_info
+
+
+class TestTracer:
+    SOURCE = """
+    main:
+        add r10, r0, #5
+        call double
+        nop
+        puti r10
+        halt r10
+    double:
+        add r26, r26, r26
+        ret
+        nop
+    """
+
+    def trace(self):
+        cpu = CPU()
+        cpu.load(assemble(self.SOURCE))
+        return trace_run(cpu)
+
+    def test_trace_completes_with_result(self):
+        trace = self.trace()
+        assert trace.result is not None
+        assert trace.result.exit_code == 10
+        assert trace.result.output == "10"
+
+    def test_register_writes_recorded(self):
+        trace = self.trace()
+        first = trace.entries[0]
+        assert first.text.startswith("add r10")
+        assert (10, 0, 5) in first.reg_writes
+
+    def test_window_rotations_visible(self):
+        trace = self.trace()
+        assert trace.window_rotations() == 2  # one call, one return
+
+    def test_render(self):
+        text = self.trace().render(limit=3)
+        assert "0x00001000" in text
+        assert "more)" in text
+
+    def test_trace_matches_plain_run(self):
+        cpu_a = CPU()
+        cpu_a.load(assemble(self.SOURCE))
+        plain = cpu_a.run()
+        trace = self.trace()
+        assert trace.result.exit_code == plain.exit_code
+        assert trace.result.stats.instructions == plain.stats.instructions
+        assert trace.result.stats.cycles == plain.stats.cycles
+
+
+class TestVaxDisassembler:
+    ROUND_TRIP_LINES = [
+        "movl #5, r1",
+        "movl #100, r1",
+        "movl 4(ap), r2",
+        "movl -8(fp), r2",
+        "addl3 r1, r2, r3",
+        "subl2 #1, r4",
+        "pushl (r2)+",
+        "movl r3, -(sp)",
+        "clrl r0",
+        "mnegl r1, r2",
+        "ashl #4, r1, r2",
+        "cmpl r1, r2",
+        "ret",
+        "halt",
+    ]
+
+    def test_round_trip(self):
+        for line in self.ROUND_TRIP_LINES:
+            program = assemble_vax(f"__start:\n    {line}\n    halt\n")
+            code = next(s for s in program.segments if s.name == "code")
+            text, consumed = disassemble_one(code.data, 0, program.entry)
+            reassembled = assemble_vax(f"__start:\n    {text}\n    halt\n")
+            recode = next(s for s in reassembled.segments if s.name == "code")
+            assert recode.data[:consumed] == code.data[:consumed], line
+
+    def test_compiled_program_listing(self):
+        compiled = compile_program(
+            "int add2(int a, int b) { return a + b; } int main() { return add2(1, 2); }",
+            target="cisc",
+        )
+        listing = disassemble_vax_program(compiled.program)
+        assert "main:" in listing and "add2:" in listing
+        assert ".entry" in listing
+        assert "calls" in listing
+        assert "ret" in listing
+
+    def test_unknown_byte_rendered_as_data(self):
+        text, consumed = disassemble_one(b"\xff", 0, 0)
+        assert consumed == 1 and ".byte" in text
+
+
+class TestRiscDisassemblerProperty:
+    @given(
+        opcode=st.sampled_from(
+            [o for o in ALL_OPCODES if opcode_info(o).format is Format.SHORT]
+        ),
+        dest=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        imm=st.booleans(),
+        data=st.data(),
+    )
+    def test_every_short_instruction_disassembles(self, opcode, dest, rs1, imm, data):
+        s2 = data.draw(
+            st.integers(S2_MIN, S2_MAX) if imm else st.integers(0, 31)
+        )
+        if opcode is Opcode.JMP:
+            dest = data.draw(st.sampled_from([int(c) for c in Cond]))
+        word = encode(Instruction.short(opcode, dest=dest, rs1=rs1, s2=s2, imm=imm))
+        text = disassemble(word)
+        assert text and "<" not in text
+
+    @given(
+        opcode=st.sampled_from(
+            [o for o in ALL_OPCODES if opcode_info(o).format is Format.LONG]
+        ),
+        dest=st.integers(0, 31),
+        y=st.integers(Y_MIN, Y_MAX),
+    )
+    def test_every_long_instruction_disassembles(self, opcode, dest, y):
+        word = encode(Instruction.long(opcode, dest=dest, y=y))
+        assert disassemble(word, pc=0x1000)
+
+
+class TestCliTrace:
+    def test_run_cli_trace_flag(self, tmp_path, capsys):
+        from repro.core.cli import main
+
+        path = tmp_path / "t.s"
+        path.write_text("main:\n add r2, r0, #3\n halt r2\n")
+        code = main([str(path), "--trace", "10"])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "add r2, r0, #3" in captured.err
