@@ -1,0 +1,64 @@
+"""Benchmark harness for the simulation farm itself.
+
+Measures an E8/E9-style sweep (compile + execute on both targets, plus IR
+profiles) four ways — cold vs. warm cache, serial vs. parallel — and
+emits ``BENCH_farm.json`` with the wall times and speedups so farm
+regressions show up as numbers, not vibes.
+"""
+
+import json
+import pathlib
+
+from conftest import once
+
+from repro.farm.cache import ArtifactCache
+from repro.farm.jobs import sweep_jobs
+from repro.farm.scheduler import run_sweep
+
+#: a representative slice of the paper's grid: call-heavy, loop-heavy, mixed
+WORKLOADS = ["towers", "sed", "qsort"]
+PARALLEL_WORKERS = 4
+
+
+def _sweep(cache_root, workers, scale):
+    report = run_sweep(
+        sweep_jobs(workloads=WORKLOADS, scale=scale),
+        workers=workers,
+        cache=ArtifactCache(cache_root),
+    )
+    assert report.counts["failed"] == 0
+    return report
+
+
+def test_farm_throughput(benchmark, scale, tmp_path, capsys):
+    serial_root = tmp_path / "serial"
+    parallel_root = tmp_path / "parallel"
+
+    cold_serial = _sweep(serial_root, 1, scale)
+    warm_serial = _sweep(serial_root, 1, scale)
+    cold_parallel = once(benchmark, _sweep, parallel_root, PARALLEL_WORKERS, scale)
+    warm_parallel = _sweep(parallel_root, PARALLEL_WORKERS, scale)
+
+    # a warm cache means zero recomputes, and it must be much cheaper
+    assert warm_serial.counts["computed"] == 0
+    assert warm_parallel.counts["computed"] == 0
+    assert warm_serial.wall_s < cold_serial.wall_s
+
+    results = {
+        "workloads": WORKLOADS,
+        "scale": scale,
+        "jobs": len(cold_serial.outcomes),
+        "workers": PARALLEL_WORKERS,
+        "cold_serial_s": round(cold_serial.wall_s, 4),
+        "warm_serial_s": round(warm_serial.wall_s, 4),
+        "cold_parallel_s": round(cold_parallel.wall_s, 4),
+        "warm_parallel_s": round(warm_parallel.wall_s, 4),
+        "parallel_mode": cold_parallel.mode,
+        "warm_speedup": round(cold_serial.wall_s / max(warm_serial.wall_s, 1e-9), 2),
+        "parallel_speedup": round(
+            cold_serial.wall_s / max(cold_parallel.wall_s, 1e-9), 2
+        ),
+    }
+    pathlib.Path("BENCH_farm.json").write_text(json.dumps(results, indent=2) + "\n")
+    with capsys.disabled():
+        print("\n" + json.dumps(results, indent=2))

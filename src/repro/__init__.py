@@ -1,0 +1,38 @@
+"""Reproduction of *RISC I: A Reduced Instruction Set VLSI Computer*.
+
+The package's minimal public API::
+
+    from repro import CPU, compile_program, ALL_WORKLOADS
+
+Heavier surfaces live in their subpackages (``repro.core``, ``repro.cc``,
+``repro.farm``, ``repro.experiments``, ...).  Attributes are resolved
+lazily so ``import repro`` stays cheap — the farm imports it just to
+stamp cache artifacts with :data:`__version__`.
+"""
+
+from __future__ import annotations
+
+#: Keep in sync with ``pyproject.toml`` — the farm's cache keys include it.
+__version__ = "1.0.0"
+
+__all__ = ["ALL_WORKLOADS", "CPU", "compile_program", "__version__"]
+
+
+def __getattr__(name: str):
+    if name == "CPU":
+        from repro.core.cpu import CPU
+
+        return CPU
+    if name == "compile_program":
+        from repro.cc.driver import compile_program
+
+        return compile_program
+    if name == "ALL_WORKLOADS":
+        from repro.workloads import ALL_WORKLOADS
+
+        return ALL_WORKLOADS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

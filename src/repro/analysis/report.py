@@ -42,6 +42,15 @@ class Table:
                 return row[index]
         raise KeyError(f"{self.title}: no row {row_key!r}")
 
+    def to_dict(self) -> dict:
+        """JSON-safe form used by ``risc1-experiments --format json``."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_json_cell(c) for c in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         cells = [[_format(c) for c in row] for row in self.rows]
         widths = [
@@ -61,6 +70,12 @@ class Table:
 def _format(cell: Any) -> str:
     if isinstance(cell, float):
         return f"{cell:.2f}"
+    return str(cell)
+
+
+def _json_cell(cell: Any) -> Any:
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
     return str(cell)
 
 

@@ -81,6 +81,21 @@ class VaxStats:
         ]
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        payload = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name != "by_mnemonic"
+        }
+        payload["by_mnemonic"] = dict(self.by_mnemonic)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VaxStats":
+        data = dict(payload)
+        data["by_mnemonic"] = Counter(data.get("by_mnemonic", {}))
+        return cls(**data)
+
 
 @dataclasses.dataclass
 class VaxExecutionResult:
@@ -91,6 +106,21 @@ class VaxExecutionResult:
     @property
     def cycles(self) -> int:
         return self.stats.cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "exit_code": self.exit_code,
+            "output": self.output,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VaxExecutionResult":
+        return cls(
+            exit_code=payload["exit_code"],
+            stats=VaxStats.from_dict(payload["stats"]),
+            output=payload["output"],
+        )
 
 
 @dataclasses.dataclass

@@ -10,6 +10,7 @@ Targets:
 from __future__ import annotations
 
 import dataclasses
+import pickle
 from typing import Optional
 
 from repro.cc.delay import DelayStats, optimize
@@ -38,6 +39,22 @@ class CompiledProgram:
     def code_size(self) -> int:
         """Code bytes — the paper's program-size metric."""
         return self.program.code_size
+
+    #: All compiled-program constituents are plain dataclasses of
+    #: primitives, so the whole artifact is pickle-stable across worker
+    #: processes and cache generations (protocol pinned for portability).
+    PICKLE_PROTOCOL = 4
+
+    def to_blob(self) -> bytes:
+        """Serialize for the farm's content-addressed artifact cache."""
+        return pickle.dumps(self, protocol=self.PICKLE_PROTOCOL)
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> "CompiledProgram":
+        value = pickle.loads(blob)
+        if not isinstance(value, cls):
+            raise TypeError(f"blob decodes to {type(value).__name__}, not {cls.__name__}")
+        return value
 
 
 def compile_to_ir(source: str) -> IRProgram:

@@ -46,12 +46,38 @@ class IRCounts:
     def total(self) -> int:
         return sum(self.ops.values())
 
+    def to_dict(self) -> dict:
+        return {"ops": dict(self.ops), "calls": self.calls, "max_depth": self.max_depth}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IRCounts":
+        return cls(
+            ops=Counter(payload.get("ops", {})),
+            calls=payload["calls"],
+            max_depth=payload["max_depth"],
+        )
+
 
 @dataclasses.dataclass
 class IRResult:
     exit_code: int
     output: str
     counts: IRCounts
+
+    def to_dict(self) -> dict:
+        return {
+            "exit_code": self.exit_code,
+            "output": self.output,
+            "counts": self.counts.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IRResult":
+        return cls(
+            exit_code=payload["exit_code"],
+            output=payload["output"],
+            counts=IRCounts.from_dict(payload["counts"]),
+        )
 
 
 class _Frame:

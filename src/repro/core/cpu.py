@@ -81,6 +81,21 @@ class ExecutionResult:
     def cycles(self) -> int:
         return self.stats.cycles
 
+    def to_dict(self) -> dict:
+        return {
+            "exit_code": self.exit_code,
+            "output": self.output,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionResult":
+        return cls(
+            exit_code=payload["exit_code"],
+            stats=ExecutionStats.from_dict(payload["stats"]),
+            output=payload["output"],
+        )
+
 
 class CPU:
     """A RISC I processor attached to a memory."""

@@ -57,6 +57,24 @@ class ExecutionStats:
         self.cycles += cycles
         self.by_opcode[opcode] += 1
 
+    def to_dict(self) -> dict:
+        """JSON-safe form; opcodes are stored by mnemonic name."""
+        payload = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name != "by_opcode"
+        }
+        payload["by_opcode"] = {op.name: count for op, count in self.by_opcode.items()}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionStats":
+        data = dict(payload)
+        data["by_opcode"] = Counter(
+            {Opcode[name]: count for name, count in data.get("by_opcode", {}).items()}
+        )
+        return cls(**data)
+
     def summary(self) -> str:
         """A human-readable one-run summary."""
         lines = [

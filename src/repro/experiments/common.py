@@ -1,66 +1,66 @@
 """Shared plumbing for the experiment harnesses.
 
-Compilation and simulation results are cached per (workload, target,
-scale) within the process so that experiments sharing measurements (E8 and
-E9, for instance) pay for each run once.
+Compilation and simulation results are cached in two layers: a
+per-process ``functools.lru_cache`` (L1, so experiments sharing
+measurements — E8 and E9, for instance — pay for each run once per
+process) over the farm's content-addressed on-disk cache (L2, in
+:mod:`repro.farm`, so nothing is recompiled or re-simulated across
+invocations unless the workload source or the toolchain changed).
+Set ``REPRO_FARM_CACHE=0`` to disable the on-disk layer.
 """
 
 from __future__ import annotations
 
 import functools
 
-from repro.cc.driver import CompiledProgram, compile_program, run_compiled
-from repro.cc.irvm import IRResult, run_ir
+from repro.cc.driver import CompiledProgram
+from repro.cc.irvm import IRResult
 from repro.core.cpu import CPU
+from repro.farm import runner as farm_runner
+from repro.farm.jobs import workload_source
 from repro.workloads import ALL_WORKLOADS
+
+__all__ = [
+    "CISC_CYCLE_NS",
+    "RISC_CYCLE_NS",
+    "cisc_ms",
+    "compiled",
+    "executed",
+    "ir_profile",
+    "risc_ms",
+    "traced_run",
+    "workload_source",
+]
 
 #: simulated clock periods, as in the paper's comparison
 RISC_CYCLE_NS = 400.0
 CISC_CYCLE_NS = 200.0
 
 
-def workload_source(name: str, scale: str) -> str:
-    workload = ALL_WORKLOADS[name]
-    params = workload.bench_params if scale == "bench" else {}
-    return workload.source(**params)
-
-
 @functools.lru_cache(maxsize=None)
 def compiled(name: str, target: str, scale: str = "default") -> CompiledProgram:
-    return compile_program(workload_source(name, scale), target=target)
+    return farm_runner.compiled(name, target, scale)
 
 
 @functools.lru_cache(maxsize=None)
 def executed(name: str, target: str, scale: str = "default"):
-    """Run a workload on its target simulator, verifying the output."""
-    program = compiled(name, target, scale)
-    result = run_compiled(program, max_instructions=500_000_000)
-    workload = ALL_WORKLOADS[name]
-    params = workload.bench_params if scale == "bench" else {}
-    expected = workload.expected_output(**params)
-    if result.output != expected:
-        raise AssertionError(
-            f"{name} on {target}: output {result.output!r} != expected {expected!r}"
-        )
-    return result
+    """Run a workload on its target simulator (output-verified by the farm)."""
+    return farm_runner.executed(name, target, scale)
 
 
 @functools.lru_cache(maxsize=None)
 def ir_profile(name: str, scale: str = "default") -> IRResult:
     """Dynamic IR profile of a workload (verified against the oracle)."""
-    program = compiled(name, "risc1", scale)
-    result = run_ir(program.ir)
-    workload = ALL_WORKLOADS[name]
-    params = workload.bench_params if scale == "bench" else {}
-    expected = workload.expected_output(**params)
-    if result.output != expected:
-        raise AssertionError(f"{name} IR run: {result.output!r} != {expected!r}")
-    return result
+    return farm_runner.ir_profile(name, scale)
 
 
 @functools.lru_cache(maxsize=None)
 def traced_run(name: str, scale: str = "default", num_windows: int = 8):
-    """Run a workload on RISC I with call tracing enabled."""
+    """Run a workload on RISC I with call tracing enabled.
+
+    Not farm-cached: callers need the live :class:`CPU` (its call trace),
+    which is not a storable artifact.
+    """
     program = compiled(name, "risc1", scale)
     cpu = CPU(num_windows=num_windows, trace_calls=True)
     cpu.load(program.program)

@@ -1,0 +1,51 @@
+"""``repro.farm`` — a parallel simulation farm for the paper's evaluation grid.
+
+The paper's tables are produced from a grid of (workload x target x scale)
+simulation jobs.  This package turns that grid into explicit, hashable
+:class:`~repro.farm.jobs.Job` objects and provides:
+
+* a content-addressed on-disk artifact cache (:mod:`repro.farm.cache`) so
+  compiled programs and execution statistics survive across invocations;
+* a multiprocess scheduler (:mod:`repro.farm.scheduler`) that fans jobs
+  across worker processes with compile-before-run ordering and graceful
+  fallback to in-process execution;
+* an append-only structured result store (:mod:`repro.farm.results`)
+  recording every sweep as a JSONL manifest;
+* a command line (``python -m repro.farm run / status / gc``).
+
+``repro.experiments.common`` routes its compilation/simulation helpers
+through :mod:`repro.farm.runner`, keeping its per-process ``lru_cache`` as
+the L1 layer on top of the farm's on-disk L2 cache.
+"""
+
+from __future__ import annotations
+
+from repro.farm.cache import ArtifactCache, CacheStats, default_cache_root
+from repro.farm.jobs import (
+    Job,
+    compile_job,
+    execute_job,
+    ir_job,
+    sweep_jobs,
+    toolchain_fingerprint,
+)
+from repro.farm.results import ResultStore
+from repro.farm.runner import run_job
+from repro.farm.scheduler import FarmReport, JobOutcome, run_sweep
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "FarmReport",
+    "Job",
+    "JobOutcome",
+    "ResultStore",
+    "compile_job",
+    "default_cache_root",
+    "execute_job",
+    "ir_job",
+    "run_job",
+    "run_sweep",
+    "sweep_jobs",
+    "toolchain_fingerprint",
+]

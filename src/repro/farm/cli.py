@@ -1,0 +1,133 @@
+"""``python -m repro.farm`` — drive the simulation farm from the shell.
+
+Subcommands::
+
+    run     execute a (workload x target x scale) sweep, parallel and cached
+    status  show cache contents and the most recent run manifest record
+    gc      evict least-recently-used artifacts down to a size budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.farm.cache import ArtifactCache, default_cache_root
+from repro.farm.jobs import sweep_jobs
+from repro.farm.results import ResultStore
+from repro.farm.scheduler import run_sweep
+from repro.workloads import ALL_WORKLOADS
+
+
+def _cmd_run(args) -> int:
+    workloads = args.workloads or None
+    if workloads:
+        unknown = [name for name in workloads if name not in ALL_WORKLOADS]
+        if unknown:
+            print(
+                f"unknown workload(s): {', '.join(unknown)}; "
+                f"available: {', '.join(ALL_WORKLOADS)}",
+                file=sys.stderr,
+            )
+            return 2
+    jobs = sweep_jobs(
+        workloads=workloads,
+        targets=tuple(args.targets.split(",")),
+        scale=args.scale,
+        with_ir=not args.no_ir,
+    )
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    report = run_sweep(jobs, workers=args.jobs, cache=cache)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "mode": report.mode,
+                    "workers": report.workers,
+                    "wall_s": round(report.wall_s, 6),
+                    "counts": report.counts,
+                    "cache": report.cache_stats.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(report.summary())
+        for outcome in report.outcomes:
+            if outcome.status == "failed":
+                print(f"FAILED {outcome.job.describe()}:\n{outcome.error}", file=sys.stderr)
+    return 1 if report.counts["failed"] else 0
+
+
+def _cmd_status(args) -> int:
+    cache = ArtifactCache(args.cache_dir or default_cache_root())
+    entries = cache.entries()
+    print(f"cache root    : {cache.root}")
+    print(f"artifacts     : {len(entries)}")
+    print(f"total bytes   : {cache.total_bytes()}")
+    store = ResultStore(cache.root / "runs.jsonl")
+    last = store.last_run()
+    if last is None:
+        print("last run      : (none)")
+        return 0
+    jobs = last.get("jobs", [])
+    print(
+        f"last run      : {len(jobs)} jobs, mode={last.get('mode')}, "
+        f"workers={last.get('workers')}, wall={last.get('wall_s'):.2f}s"
+    )
+    print(
+        f"  outcomes    : {sum(1 for j in jobs if j['status'] == 'hit')} hit / "
+        f"{len(store.computed_jobs(last))} computed / "
+        f"{sum(1 for j in jobs if j['status'] == 'failed')} failed "
+        f"(hit rate {store.hit_rate(last):.0%})"
+    )
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    cache = ArtifactCache(args.cache_dir or default_cache_root())
+    before = cache.total_bytes()
+    evicted = cache.gc(max_bytes=args.max_mb * 1024 * 1024)
+    print(f"evicted {len(evicted)} artifacts ({before - cache.total_bytes()} bytes)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.farm", description="the parallel simulation farm"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute a simulation sweep")
+    run_parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    run_parser.add_argument("--scale", choices=("default", "bench"), default="default")
+    run_parser.add_argument(
+        "--targets", default="risc1,cisc", help="comma-separated targets"
+    )
+    run_parser.add_argument(
+        "--workloads", nargs="*", help=f"subset of: {', '.join(ALL_WORKLOADS)}"
+    )
+    run_parser.add_argument("--no-ir", action="store_true", help="skip IR profile jobs")
+    run_parser.add_argument("--format", choices=("text", "json"), default="text")
+    run_parser.set_defaults(func=_cmd_run)
+
+    status_parser = sub.add_parser("status", help="show cache and last-run state")
+    status_parser.set_defaults(func=_cmd_status)
+
+    gc_parser = sub.add_parser("gc", help="evict artifacts down to a size budget")
+    gc_parser.add_argument("--max-mb", type=float, default=0.0, help="keep at most this many MiB")
+    gc_parser.set_defaults(func=_cmd_gc)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,189 @@
+"""The farm's job model.
+
+A :class:`Job` is one cell of the paper's evaluation grid: compile a
+workload for a target, execute it on that target's simulator, or profile
+it at the IR level.  Jobs are plain frozen dataclasses of primitives so
+they pickle cheaply across process boundaries, and each job has a
+deterministic content-addressed :func:`job_key` covering
+
+* the workload's mini-C source text at the requested scale,
+* the target backend and simulator configuration, and
+* a per-module version stamp of the toolchain (a hash of each relevant
+  ``repro`` subpackage's source), so editing the compiler or a simulator
+  invalidates exactly the artifacts it could change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+from pathlib import Path
+
+from repro.workloads import ALL_WORKLOADS
+
+#: Bump when the job/artifact encoding changes shape.
+JOB_SCHEMA_VERSION = 1
+
+#: Default instruction budget for farm execution jobs — matches what the
+#: experiment harnesses use.
+MAX_INSTRUCTIONS = 500_000_000
+
+#: Which toolchain modules each job kind depends on.  A compile artifact
+#: is invalidated by compiler/assembler changes; an execution artifact
+#: additionally by its simulator.
+_MODULES_BY_KIND = {
+    "compile": ("isa", "machine", "asm", "cc", "baselines", "core"),
+    "execute": ("isa", "machine", "asm", "cc", "baselines", "core"),
+    "ir": ("isa", "machine", "asm", "cc", "baselines", "core"),
+}
+
+
+@functools.lru_cache(maxsize=1)
+def toolchain_fingerprint() -> dict[str, str]:
+    """Per-module version stamps: subpackage name -> sha256 of its sources.
+
+    Hashes every ``.py`` source (and workload program) under each
+    ``repro`` subpackage, so any code change produces new cache keys
+    without anyone remembering to bump a version constant.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    stamps: dict[str, str] = {"repro": _package_version()}
+    for module in ("isa", "machine", "core", "asm", "cc", "baselines", "workloads"):
+        digest = hashlib.sha256()
+        base = root / module
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".py", ".rc", ".s") and path.is_file():
+                digest.update(path.relative_to(base).as_posix().encode())
+                digest.update(path.read_bytes())
+        stamps[module] = digest.hexdigest()[:16]
+    return stamps
+
+
+def _package_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One unit of farm work.  Hash- and pickle-stable by construction."""
+
+    kind: str  # "compile" | "execute" | "ir"
+    workload: str
+    target: str  # "risc1" | "cisc" ("risc1" for IR jobs)
+    scale: str = "default"
+    #: extra simulator configuration, sorted (name, value) pairs
+    config: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("compile", "execute", "ir"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.workload not in ALL_WORKLOADS:
+            raise KeyError(f"unknown workload {self.workload!r}")
+
+    @property
+    def key(self) -> str:
+        return job_key(self)
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.workload}:{self.target}:{self.scale}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "target": self.target,
+            "scale": self.scale,
+            "config": [list(pair) for pair in self.config],
+            "key": self.key,
+        }
+
+
+def workload_source(name: str, scale: str) -> str:
+    """The workload's mini-C source at the requested scale."""
+    workload = ALL_WORKLOADS[name]
+    params = workload.bench_params if scale == "bench" else {}
+    return workload.source(**params)
+
+
+@functools.lru_cache(maxsize=None)
+def _source_digest(name: str, scale: str) -> str:
+    return hashlib.sha256(workload_source(name, scale).encode()).hexdigest()[:16]
+
+
+def job_key(job: Job) -> str:
+    """Deterministic content hash naming this job's cache artifact."""
+    stamps = toolchain_fingerprint()
+    material = {
+        "schema": JOB_SCHEMA_VERSION,
+        "kind": job.kind,
+        "workload": job.workload,
+        "target": job.target,
+        "scale": job.scale,
+        "config": [list(pair) for pair in sorted(job.config)],
+        "source": _source_digest(job.workload, job.scale),
+        "toolchain": {m: stamps[m] for m in ("repro", *_MODULES_BY_KIND[job.kind])},
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- job builders -------------------------------------------------------------------
+
+
+def compile_job(workload: str, target: str, scale: str = "default") -> Job:
+    return Job("compile", workload, target, scale)
+
+
+def execute_job(
+    workload: str,
+    target: str,
+    scale: str = "default",
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> Job:
+    return Job(
+        "execute",
+        workload,
+        target,
+        scale,
+        config=(("max_instructions", max_instructions),),
+    )
+
+
+def ir_job(workload: str, scale: str = "default") -> Job:
+    return Job("ir", workload, "risc1", scale)
+
+
+def dependency(job: Job) -> Job | None:
+    """The job that must (logically) run first, or None.
+
+    Execution and IR jobs consume the compile job's artifact.  The
+    dependency is *soft* — a worker recompiles on a cache miss — but the
+    scheduler uses it to order waves so compiled programs are built once.
+    """
+    if job.kind in ("execute", "ir"):
+        return compile_job(job.workload, "risc1" if job.kind == "ir" else job.target, job.scale)
+    return None
+
+
+def sweep_jobs(
+    workloads=None,
+    targets=("risc1", "cisc"),
+    scale: str = "default",
+    with_ir: bool = True,
+) -> list[Job]:
+    """The full evaluation grid: compile + execute per target, plus IR profiles."""
+    names = list(workloads) if workloads else list(ALL_WORKLOADS)
+    jobs: list[Job] = []
+    for name in names:
+        for target in targets:
+            jobs.append(compile_job(name, target, scale))
+            jobs.append(execute_job(name, target, scale))
+        if with_ir:
+            jobs.append(ir_job(name, scale))
+    return jobs

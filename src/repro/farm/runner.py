@@ -1,0 +1,125 @@
+"""Execute a single farm job against the artifact cache.
+
+This is the layer both the multiprocess scheduler's workers and the
+in-process experiment helpers share: check the content-addressed cache,
+compute on a miss, verify the workload's output against its reference
+oracle, and store the artifact.  Because cache keys cover the workload
+source and the toolchain fingerprint, a cached artifact is by
+construction the result the computation would produce.
+
+Set ``REPRO_FARM_CACHE=0`` to bypass the on-disk layer entirely (every
+job recomputes; useful for timing and for hermetic tests).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.cc.driver import CompiledProgram, compile_program, run_compiled
+from repro.cc.irvm import IRResult, run_ir
+from repro.core.cpu import ExecutionResult
+from repro.baselines.vax.cpu import VaxExecutionResult
+from repro.farm.cache import ArtifactCache, default_cache_root
+from repro.farm.jobs import (
+    MAX_INSTRUCTIONS,
+    Job,
+    compile_job,
+    execute_job,
+    ir_job,
+    workload_source,
+)
+from repro.workloads import ALL_WORKLOADS
+
+#: payload tag -> result class, for execution artifacts stored as JSON
+_RESULT_TYPES = {
+    "risc1": ExecutionResult,
+    "cisc": VaxExecutionResult,
+    "ir": IRResult,
+}
+
+_caches: dict[Path, ArtifactCache] = {}
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_FARM_CACHE", "1").lower() not in ("0", "off", "no")
+
+
+def shared_cache() -> ArtifactCache:
+    """One :class:`ArtifactCache` per cache root, shared within the process."""
+    root = default_cache_root()
+    key = root.resolve() if root.is_absolute() else (Path.cwd() / root).resolve()
+    if key not in _caches:
+        _caches[key] = ArtifactCache(root)
+    return _caches[key]
+
+
+def _expected_output(name: str, scale: str) -> str:
+    workload = ALL_WORKLOADS[name]
+    params = workload.bench_params if scale == "bench" else {}
+    return workload.expected_output(**params)
+
+
+def _verify(job: Job, output: str) -> None:
+    expected = _expected_output(job.workload, job.scale)
+    if output != expected:
+        raise AssertionError(
+            f"{job.describe()}: output {output!r} != expected {expected!r}"
+        )
+
+
+def run_job(job: Job, cache: ArtifactCache | None = None):
+    """Run one job, cache-first.  Returns ``(value, hit)``."""
+    if cache is None and cache_enabled():
+        cache = shared_cache()
+
+    if job.kind == "compile":
+        if cache is not None:
+            blob = cache.load_blob(job.key, "pkl")
+            if blob is not None:
+                try:
+                    return CompiledProgram.from_blob(blob), True
+                except Exception:
+                    cache.stats.hits -= 1
+                    cache.discard_corrupt(cache.path_for(job.key, "pkl"))
+        value = compile_program(workload_source(job.workload, job.scale), target=job.target)
+        if cache is not None:
+            cache.store_blob(job.key, "pkl", value.to_blob())
+        return value, False
+
+    # execute / ir jobs store their results as typed JSON payloads
+    tag = "ir" if job.kind == "ir" else job.target
+    if cache is not None:
+        payload = cache.load_json(job.key)
+        if payload is not None:
+            try:
+                return _RESULT_TYPES[payload["type"]].from_dict(payload["result"]), True
+            except Exception:
+                cache.stats.hits -= 1
+                cache.discard_corrupt(cache.path_for(job.key, "json"))
+
+    program, _ = run_job(compile_job(job.workload, job.target, job.scale), cache)
+    if job.kind == "ir":
+        value = run_ir(program.ir)
+    else:
+        limit = dict(job.config).get("max_instructions", MAX_INSTRUCTIONS)
+        value = run_compiled(program, max_instructions=limit)
+    _verify(job, value.output)
+    if cache is not None:
+        cache.store_json(job.key, {"type": tag, "result": value.to_dict()})
+    return value, False
+
+
+# -- convenience entry points used by repro.experiments.common ----------------------
+
+
+def compiled(name: str, target: str, scale: str = "default") -> CompiledProgram:
+    return run_job(compile_job(name, target, scale))[0]
+
+
+def executed(name: str, target: str, scale: str = "default"):
+    return run_job(execute_job(name, target, scale))[0]
+
+
+def ir_profile(name: str, scale: str = "default") -> IRResult:
+    return run_job(ir_job(name, scale))[0]

@@ -1,0 +1,186 @@
+"""Multiprocess job scheduler for the simulation farm.
+
+Jobs are fanned across a :class:`concurrent.futures.ProcessPoolExecutor`
+in dependency order — all compile jobs first, then the execution/IR jobs
+that consume their artifacts through the shared on-disk cache.  Workers
+return small outcome records (status + wall time + cache accounting), not
+the artifacts themselves; the artifacts land in the content-addressed
+cache where the parent (and every later process) reads them back.
+
+If the pool cannot be used at all — a sandbox without working
+``multiprocessing``, a broken worker, an unpicklable job — the scheduler
+degrades gracefully: every job not yet completed runs serially in-process
+and the report says so, rather than the sweep failing.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import time
+import traceback
+
+from repro.farm.cache import ArtifactCache, CacheStats, default_cache_root
+from repro.farm.jobs import Job, dependency
+from repro.farm.results import ResultStore
+from repro.farm.runner import cache_enabled, run_job
+
+
+@dataclasses.dataclass
+class JobOutcome:
+    """What happened to one job during a sweep."""
+
+    job: Job
+    key: str
+    status: str  # "hit" | "computed" | "failed"
+    wall_s: float
+    worker: str  # "serial" or "pool"
+    error: str | None = None
+
+
+@dataclasses.dataclass
+class FarmReport:
+    """Everything one :func:`run_sweep` invocation did."""
+
+    mode: str  # "serial" | "parallel" | "parallel+fallback"
+    workers: int
+    wall_s: float
+    outcomes: list[JobOutcome]
+    cache_stats: CacheStats
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts = {"hit": 0, "computed": 0, "failed": 0}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        c = self.counts
+        return (
+            f"{len(self.outcomes)} jobs in {self.wall_s:.2f}s "
+            f"({self.mode}, {self.workers} worker{'s' if self.workers != 1 else ''}): "
+            f"{c['hit']} cache hits, {c['computed']} computed, {c['failed']} failed"
+        )
+
+
+def _job_waves(jobs: list[Job]) -> list[list[Job]]:
+    """Dependency-ordered waves: producers before the jobs that read them."""
+    remaining = list(dict.fromkeys(jobs))  # preserve order, drop duplicates
+    keys = {job.key for job in remaining}
+    waves: list[list[Job]] = []
+    done: set[str] = set()
+    while remaining:
+        wave = []
+        for job in remaining:
+            dep = dependency(job)
+            if dep is None or dep.key in done or dep.key not in keys:
+                wave.append(job)
+        if not wave:  # cycle cannot happen with this job model, but stay safe
+            wave = remaining[:]
+        done.update(job.key for job in wave)
+        remaining = [job for job in remaining if job.key not in done]
+        waves.append(wave)
+    return waves
+
+
+def _worker_execute(job: Job, cache_root: str | None) -> dict:
+    """Pool entry point: run one job, report outcome + cache accounting."""
+    cache = ArtifactCache(cache_root) if cache_root is not None else None
+    started = time.perf_counter()
+    try:
+        _, hit = run_job(job, cache)
+        status = "hit" if hit else "computed"
+        error = None
+    except Exception:
+        status = "failed"
+        error = traceback.format_exc(limit=4)
+    return {
+        "status": status,
+        "wall_s": time.perf_counter() - started,
+        "error": error,
+        "cache": cache.stats.to_dict() if cache is not None else None,
+    }
+
+
+def _serial_outcome(job: Job, cache: ArtifactCache | None) -> JobOutcome:
+    started = time.perf_counter()
+    try:
+        _, hit = run_job(job, cache)
+        status, error = ("hit" if hit else "computed"), None
+    except Exception as exc:
+        status, error = "failed", f"{type(exc).__name__}: {exc}"
+    return JobOutcome(job, job.key, status, time.perf_counter() - started, "serial", error)
+
+
+def run_sweep(
+    jobs: list[Job],
+    workers: int = 1,
+    cache: ArtifactCache | None = None,
+    manifest: bool = True,
+    store: ResultStore | None = None,
+) -> FarmReport:
+    """Run a batch of jobs, optionally in parallel, and record the manifest.
+
+    ``workers <= 1`` runs everything serially in-process.  With more
+    workers, jobs fan across a process pool in dependency waves; any pool
+    failure falls back to serial execution of the unfinished jobs.
+    """
+    if cache is None and cache_enabled():
+        cache = ArtifactCache(default_cache_root())
+    cache_root = str(cache.root) if cache is not None else None
+
+    started = time.perf_counter()
+    outcomes: list[JobOutcome] = []
+    totals = CacheStats()
+    mode = "serial" if workers <= 1 else "parallel"
+
+    pool: concurrent.futures.ProcessPoolExecutor | None = None
+    try:
+        for wave in _job_waves(jobs):
+            if workers <= 1 or mode == "parallel+fallback":
+                outcomes.extend(_serial_outcome(job, cache) for job in wave)
+                continue
+            try:
+                if pool is None:
+                    pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+                futures = {pool.submit(_worker_execute, job, cache_root): job for job in wave}
+                for future in concurrent.futures.as_completed(futures):
+                    job = futures[future]
+                    record = future.result()
+                    outcomes.append(
+                        JobOutcome(
+                            job,
+                            job.key,
+                            record["status"],
+                            record["wall_s"],
+                            "pool",
+                            record["error"],
+                        )
+                    )
+                    if record["cache"]:
+                        totals.merge(CacheStats(**record["cache"]))
+            except Exception:
+                # pool machinery itself failed — finish this wave (and the
+                # rest of the sweep) serially rather than losing the run
+                mode = "parallel+fallback"
+                finished = {outcome.key for outcome in outcomes}
+                outcomes.extend(
+                    _serial_outcome(job, cache) for job in wave if job.key not in finished
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    if cache is not None:
+        totals.merge(cache.stats)
+    report = FarmReport(mode, workers, time.perf_counter() - started, outcomes, totals)
+
+    if manifest and (store is not None or cache is not None):
+        if store is None:
+            store = ResultStore(cache.root / "runs.jsonl")
+        try:
+            store.append_run(report)
+        except OSError:
+            pass  # an unwritable manifest must not fail a finished sweep
+    return report

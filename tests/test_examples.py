@@ -19,6 +19,7 @@ EXPECTATIONS = {
     "window_study.py": ["towers", "ackermann"],
     "paper_tables.py": ["31 instructions", "opcode(7)"],
     "trace_demo.py": ["window rotations: 2"],
+    "farm_sweep.py": ["cold run", "warm run", "recomputed nothing"],
 }
 
 
