@@ -1,0 +1,66 @@
+"""Benchmark harness for the observability layer's hot-path cost.
+
+Runs quicksort on the RISC I simulator four ways — no tracer, a tracer
+that wants no kinds, call-flow tracing, and full per-instruction tracing
+— and emits ``BENCH_obs.json``.  The load-bearing number is the
+*disabled* overhead: machines resolve their tracer once at construction,
+so leaving observability off must cost (almost) nothing in the step
+loop.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.cc.driver import compile_program
+from repro.core.cpu import CPU
+from repro.farm.jobs import workload_source
+from repro.obs import FLOW_KINDS, Tracer
+
+WORKLOAD = "qsort"
+REPEATS = 5
+
+
+def _steps_per_s(program, make_tracer):
+    best = 0.0
+    for _ in range(REPEATS):
+        cpu = CPU(tracer=make_tracer())
+        cpu.load(program)
+        started = time.perf_counter()
+        result = cpu.run(max_steps=500_000_000)
+        elapsed = time.perf_counter() - started
+        assert result.exit_code == 0
+        best = max(best, result.instructions / elapsed)
+    return best
+
+
+def test_obs_overhead(scale, capsys):
+    program = compile_program(workload_source(WORKLOAD, scale)).program
+
+    baseline = _steps_per_s(program, lambda: None)
+    disabled = _steps_per_s(program, lambda: Tracer(kinds=frozenset()))
+    flow = _steps_per_s(program, lambda: Tracer(kinds=FLOW_KINDS))
+    full = _steps_per_s(program, lambda: Tracer())
+
+    def pct(rate):
+        return round((baseline - rate) / baseline * 100.0, 2)
+
+    results = {
+        "workload": WORKLOAD,
+        "scale": scale,
+        "repeats": REPEATS,
+        "baseline_steps_per_s": round(baseline),
+        "disabled_tracer_steps_per_s": round(disabled),
+        "flow_tracing_steps_per_s": round(flow),
+        "full_tracing_steps_per_s": round(full),
+        "disabled_overhead_pct": pct(disabled),
+        "flow_overhead_pct": pct(flow),
+        "full_overhead_pct": pct(full),
+    }
+    pathlib.Path("BENCH_obs.json").write_text(json.dumps(results, indent=2) + "\n")
+    with capsys.disabled():
+        print("\n" + json.dumps(results, indent=2))
+
+    # the acceptance bar: a constructed-but-silent tracer stays within 5%
+    # of the no-tracer path (both take the same cached-boolean fast path)
+    assert disabled >= 0.95 * baseline, results

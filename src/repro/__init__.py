@@ -15,7 +15,15 @@ from __future__ import annotations
 #: Keep in sync with ``pyproject.toml`` — the farm's cache keys include it.
 __version__ = "1.0.0"
 
-__all__ = ["ALL_WORKLOADS", "CPU", "compile_program", "__version__"]
+__all__ = [
+    "ALL_WORKLOADS",
+    "CPU",
+    "Machine",
+    "RunResult",
+    "Tracer",
+    "compile_program",
+    "__version__",
+]
 
 
 def __getattr__(name: str):
@@ -31,6 +39,14 @@ def __getattr__(name: str):
         from repro.workloads import ALL_WORKLOADS
 
         return ALL_WORKLOADS
+    if name in ("Machine", "RunResult"):
+        from repro.core import api
+
+        return getattr(api, name)
+    if name == "Tracer":
+        from repro.obs.tracer import Tracer
+
+        return Tracer
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -10,6 +10,7 @@ register-window comparison cares about.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from collections import Counter
 
 from repro.baselines.vax.isa import (
@@ -22,9 +23,18 @@ from repro.baselines.vax.isa import (
     VaxOpcodeInfo,
 )
 from repro.baselines.vax.timing import VaxTiming
+from repro.core.api import (
+    MachineHalted,
+    RunResult,
+    StepLimitExceeded,
+    register_stats_type,
+    resolve_max_steps,
+)
 from repro.core.program import Program
 from repro.machine.memory import Memory
 from repro.machine.traps import Trap, TrapKind
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER
 
 WORD = 0xFFFFFFFF
 SIGN = 0x80000000
@@ -41,9 +51,8 @@ def _signed(value: int, bits: int = 32) -> int:
     return value - (1 << bits) if value & (1 << (bits - 1)) else value
 
 
-class _Halt(Exception):
-    def __init__(self, code: int):
-        self.code = code
+#: The halt signal is the unified API's — kept under the old internal name.
+_Halt = MachineHalted
 
 
 @dataclasses.dataclass
@@ -97,30 +106,28 @@ class VaxStats:
         return cls(**data)
 
 
-@dataclasses.dataclass
-class VaxExecutionResult:
-    exit_code: int
-    stats: VaxStats
-    output: str
+register_stats_type("cisc", VaxStats)
 
-    @property
-    def cycles(self) -> int:
-        return self.stats.cycles
 
-    def to_dict(self) -> dict:
-        return {
-            "exit_code": self.exit_code,
-            "output": self.output,
-            "stats": self.stats.to_dict(),
-        }
+class VaxExecutionResult(RunResult):
+    """Deprecated alias for :class:`repro.core.api.RunResult`.
+
+    Kept so pre-unification callers and cached farm artifacts still load;
+    new code should construct and consume :class:`RunResult`.
+    """
+
+    def __init__(self, exit_code: int, stats: VaxStats, output: str):
+        warnings.warn(
+            "VaxExecutionResult is deprecated; use repro.core.api.RunResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(machine="cisc", exit_code=exit_code, output=output, stats=stats)
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "VaxExecutionResult":
-        return cls(
-            exit_code=payload["exit_code"],
-            stats=VaxStats.from_dict(payload["stats"]),
-            output=payload["output"],
-        )
+    def from_dict(cls, payload: dict) -> RunResult:
+        """Load a result payload, including legacy ones with no machine tag."""
+        return RunResult.from_dict(payload, default_machine="cisc")
 
 
 @dataclasses.dataclass
@@ -130,39 +137,101 @@ class _Operand:
 
 
 class VaxCPU:
-    """The VAX-like processor attached to a memory."""
+    """The VAX-like processor attached to a memory.
 
-    def __init__(self, memory_size: int = 1 << 20, timing: VaxTiming | None = None):
+    Implements the unified :class:`repro.core.api.Machine` protocol, the
+    same surface as the RISC I :class:`~repro.core.cpu.CPU`.
+    """
+
+    #: machine tag used in unified result payloads
+    name = "cisc"
+
+    def __init__(
+        self,
+        memory_size: int = 1 << 20,
+        timing: VaxTiming | None = None,
+        tracer=None,
+        metrics=None,
+    ):
         # real VAX permits unaligned operands, so no alignment trap here
         self.memory = Memory(memory_size, check_alignment=False)
         self.regs = [0] * 16
         self.timing = timing or VaxTiming()
         self.stats = VaxStats()
+        self.metrics = metrics
+        self._install_tracer(tracer)
+        self._halted = False
+        self._exit_code: int | None = None
         self.pc = 0
         self.n = self.z = self.v = self.c = False
         self._console: list[str] = []
         self._depth = 1
         self._stack_top = memory_size - 16
 
+    def _install_tracer(self, tracer) -> None:
+        """Resolve the tracer once; the step loop only tests booleans."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        wants = self.tracer.wants
+        self._trace_retire = wants(EventKind.RETIRE)
+        self._trace_mem = wants(EventKind.MEM_REF)
+        self._trace_flow = wants(EventKind.CALL) or wants(EventKind.RET)
+        self._trace_trap = wants(EventKind.TRAP)
+
     def load(self, program: Program) -> None:
         for segment in program.segments:
             self.memory.load_image(segment.base, segment.data)
         self.pc = program.entry
+        self._halted = False
+        self._exit_code = None
         self.regs[SP] = self._stack_top
         self.regs[FP] = self._stack_top
         self.regs[AP] = self._stack_top
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, max_instructions: int = 200_000_000) -> VaxExecutionResult:
+    @property
+    def halted(self) -> bool:
+        """True once the loaded program has executed its halt."""
+        return self._halted
+
+    @property
+    def exit_code(self) -> int | None:
+        return self._exit_code
+
+    def _halt(self, code: int) -> None:
+        self._halted = True
+        self._exit_code = code
+        raise _Halt(code)
+
+    def run(
+        self,
+        max_instructions: int | None = None,
+        *,
+        max_steps: int | None = None,
+        tracer=None,
+    ) -> RunResult:
+        """Run until the program halts.
+
+        Exceeding the step budget raises :class:`StepLimitExceeded`.
+        ``max_instructions`` is the deprecated spelling of ``max_steps``.
+        """
+        limit = resolve_max_steps(max_instructions, max_steps)
+        if tracer is not None:
+            self._install_tracer(tracer)
         try:
-            for _ in range(max_instructions):
+            for _ in range(limit):
                 self.step()
-            raise Trap(TrapKind.HALT, f"instruction limit of {max_instructions} reached")
+            raise StepLimitExceeded(limit, pc=self.pc)
         except _Halt as halt:
-            return VaxExecutionResult(halt.code, self.stats, "".join(self._console))
+            result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
+            if self.metrics is not None:
+                from repro.obs.metrics import record_machine_run
+
+                record_machine_run(self.metrics, result)
+            return result
 
     def step(self) -> None:
+        pc = self.pc
         opcode = self._fetch(1)
         info = BY_OPCODE.get(opcode)
         if info is None:
@@ -181,6 +250,10 @@ class VaxCPU:
         writes_before = self.memory.stats.data_writes
         try:
             self._execute(info, operands, branch_disp)
+        except Trap as trap:
+            if self._trace_trap:
+                self.tracer.trap(self.stats.cycles, pc, trap.kind.name, trap.detail)
+            raise
         finally:
             refs = (
                 self.memory.stats.data_reads
@@ -192,6 +265,8 @@ class VaxCPU:
             self.stats.cycles += cycles
             self.stats.instructions += 1
             self.stats.by_mnemonic[info.mnemonic] += 1
+            if self._trace_retire:
+                self.tracer.retire(self.stats.cycles, pc, info.mnemonic, cycles)
 
     # -- instruction stream ------------------------------------------------------
 
@@ -238,6 +313,8 @@ class VaxCPU:
         else:
             value = self.memory.read(operand.value, width)
             self.stats.data_reads += 1
+            if self._trace_mem:
+                self.tracer.mem_ref(self.stats.cycles, self.pc, operand.value, "r", width)
         if signed:
             value = _signed(value, width * 8) & WORD
         return value & WORD if width == 4 else value
@@ -260,6 +337,8 @@ class VaxCPU:
             return
         self.memory.write(address, value, width)
         self.stats.data_writes += 1
+        if self._trace_mem:
+            self.tracer.mem_ref(self.stats.cycles, self.pc, address, "w", width)
 
     def _address(self, operand: _Operand) -> int:
         if operand.kind != "mem":
@@ -274,7 +353,7 @@ class VaxCPU:
         elif address == MMIO_PUTINT:
             self._console.append(str(_signed(value)))
         elif address == MMIO_HALT:
-            raise _Halt(_signed(value))
+            self._halt(_signed(value))
         else:
             raise Trap(TrapKind.BUS_ERROR, f"unknown MMIO address {address:#x}")
 
@@ -305,7 +384,7 @@ class VaxCPU:
     ) -> None:
         m = info.mnemonic
         if m == "halt":
-            raise _Halt(_signed(self.regs[0]))
+            self._halt(_signed(self.regs[0]))
         if m in BRANCH_CONDITIONS:
             assert branch_disp is not None
             if BRANCH_CONDITIONS[m](self.n, self.z, self.v, self.c):
@@ -505,6 +584,8 @@ class VaxCPU:
     def _calls(self, ops: list[_Operand]) -> None:
         nargs = self._read(ops[0], 4)
         target = self._address(ops[1])
+        if self._trace_flow:
+            self.tracer.call(self.stats.cycles, self.pc, self._depth + 1)
         refs_before = self.stats.data_references
         mask = self.memory.read(target, 2)
         self.stats.data_reads += 1
@@ -525,6 +606,8 @@ class VaxCPU:
         self.stats.call_linkage_refs += self.stats.data_references - refs_before
 
     def _ret(self) -> None:
+        if self._trace_flow:
+            self.tracer.ret(self.stats.cycles, self.pc, self._depth - 1)
         refs_before = self.stats.data_references
         self.regs[SP] = self.regs[FP]
         mask = self._pop()

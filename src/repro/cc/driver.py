@@ -21,6 +21,7 @@ from repro.cc.parser import parse
 from repro.cc.riscgen import generate_risc_assembly
 from repro.cc.sema import analyze
 from repro.core.program import Program
+from repro.obs.profiling import span
 
 TARGETS = ("risc1", "cisc")
 
@@ -57,11 +58,14 @@ class CompiledProgram:
         return value
 
 
-def compile_to_ir(source: str) -> IRProgram:
+def compile_to_ir(source: str, tracer=None) -> IRProgram:
     """Front half of the compiler: source -> IR."""
-    unit = parse(source)
-    info, analyzer = analyze(unit)
-    return generate_ir(info, analyzer)
+    with span(tracer, "cc.parse"):
+        unit = parse(source)
+    with span(tracer, "cc.sema"):
+        info, analyzer = analyze(unit)
+    with span(tracer, "cc.irgen"):
+        return generate_ir(info, analyzer)
 
 
 def compile_to_assembly(source: str, target: str = "risc1") -> str:
@@ -70,42 +74,60 @@ def compile_to_assembly(source: str, target: str = "risc1") -> str:
 
 
 def compile_program(
-    source: str, target: str = "risc1", fill_delay_slots: bool = True
+    source: str, target: str = "risc1", fill_delay_slots: bool = True, tracer=None
 ) -> CompiledProgram:
-    """Compile mini-C to a loadable program image for the chosen target."""
+    """Compile mini-C to a loadable program image for the chosen target.
+
+    An optional ``tracer`` records each compiler phase as a timed PHASE
+    event (parse, sema, irgen, codegen, delay-slot fill, assemble).
+    """
     if target not in TARGETS:
         raise CompileError(f"unknown target {target!r}; expected one of {TARGETS}")
-    ir_program = compile_to_ir(source)
+    ir_program = compile_to_ir(source, tracer)
 
     if target == "risc1":
         from repro.asm.assembler import assemble
 
-        asm = generate_risc_assembly(ir_program)
+        with span(tracer, "cc.riscgen", target=target):
+            asm = generate_risc_assembly(ir_program)
         delay_stats = None
         if fill_delay_slots:
-            asm, delay_stats = optimize(asm)
-        program = assemble(asm)
+            with span(tracer, "cc.delay"):
+                asm, delay_stats = optimize(asm)
+        with span(tracer, "asm.assemble", target=target):
+            program = assemble(asm)
         return CompiledProgram("risc1", asm, program, ir_program, delay_stats)
 
     from repro.baselines.vax.assembler import assemble_vax
     from repro.cc.ciscgen import generate_cisc_assembly
 
-    asm = generate_cisc_assembly(ir_program)
-    program = assemble_vax(asm)
+    with span(tracer, "cc.ciscgen", target=target):
+        asm = generate_cisc_assembly(ir_program)
+    with span(tracer, "asm.assemble", target=target):
+        program = assemble_vax(asm)
     return CompiledProgram("cisc", asm, program, ir_program, None)
 
 
-def run_compiled(compiled: CompiledProgram, max_instructions: int = 200_000_000):
-    """Execute a compiled program on its target's simulator."""
+def run_compiled(
+    compiled: CompiledProgram,
+    max_instructions: int | None = None,
+    *,
+    max_steps: int | None = None,
+    tracer=None,
+    metrics=None,
+):
+    """Execute a compiled program on its target's simulator.
+
+    Returns the unified :class:`repro.core.api.RunResult` for either
+    target; ``tracer``/``metrics`` are handed to the machine.
+    """
     if compiled.target == "risc1":
         from repro.core.cpu import CPU
 
-        cpu = CPU()
-        cpu.load(compiled.program)
-        return cpu.run(max_instructions=max_instructions)
+        cpu = CPU(tracer=tracer, metrics=metrics)
+    else:
+        from repro.baselines.vax.cpu import VaxCPU
 
-    from repro.baselines.vax.cpu import VaxCPU
-
-    cpu = VaxCPU()
+        cpu = VaxCPU(tracer=tracer, metrics=metrics)
     cpu.load(compiled.program)
-    return cpu.run(max_instructions=max_instructions)
+    return cpu.run(max_instructions, max_steps=max_steps)

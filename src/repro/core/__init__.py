@@ -5,9 +5,28 @@ delayed-jump, load/store machine that runs programs produced by the
 assembler (:mod:`repro.asm`) or the mini-C compiler (:mod:`repro.cc`).
 """
 
+from repro.core.api import (
+    DEFAULT_MAX_STEPS,
+    Machine,
+    MachineHalted,
+    RunResult,
+    StepLimitExceeded,
+)
 from repro.core.cpu import CPU, ExecutionResult
 from repro.core.program import Program, Segment
 from repro.core.stats import ExecutionStats
 from repro.core.timing import RiscTiming
 
-__all__ = ["CPU", "ExecutionResult", "ExecutionStats", "Program", "RiscTiming", "Segment"]
+__all__ = [
+    "CPU",
+    "DEFAULT_MAX_STEPS",
+    "ExecutionResult",
+    "ExecutionStats",
+    "Machine",
+    "MachineHalted",
+    "Program",
+    "RiscTiming",
+    "RunResult",
+    "Segment",
+    "StepLimitExceeded",
+]

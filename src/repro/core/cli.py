@@ -6,6 +6,7 @@ import argparse
 import sys
 
 from repro.asm.assembler import AssemblerError, assemble
+from repro.core.api import DEFAULT_MAX_STEPS
 from repro.core.cpu import CPU
 
 
@@ -14,7 +15,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("source", help="assembly source file")
     parser.add_argument("--windows", type=int, default=8, help="register windows (default 8)")
     parser.add_argument(
-        "--max-instructions", type=int, default=100_000_000, help="safety execution limit"
+        "--max-instructions",
+        type=int,
+        default=DEFAULT_MAX_STEPS,
+        help="safety execution limit",
     )
     parser.add_argument("--stats", action="store_true", help="print execution statistics")
     parser.add_argument(

@@ -27,13 +27,19 @@ I/O and program exit use memory-mapped stores, a stand-in for the paper's
 
 from __future__ import annotations
 
-import dataclasses
+import warnings
 from functools import lru_cache
 from typing import Callable
 
 from repro.isa.conditions import Cond, ConditionCodes, cond_holds
 from repro.isa.encoding import Instruction, decode
 from repro.isa.opcodes import Opcode
+from repro.core.api import (
+    MachineHalted,
+    RunResult,
+    StepLimitExceeded,
+    resolve_max_steps,
+)
 from repro.core.program import Program
 from repro.core.stats import ExecutionStats
 from repro.core.timing import RiscTiming
@@ -41,6 +47,8 @@ from repro.machine.memory import Memory
 from repro.machine.psw import PSW
 from repro.machine.regfile import RegisterFile
 from repro.machine.traps import Trap, TrapKind
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER
 
 WORD = 0xFFFFFFFF
 SIGN = 0x80000000
@@ -64,41 +72,42 @@ def to_signed(value: int) -> int:
     return value - (1 << 32) if value & SIGN else value
 
 
-class _Halt(Exception):
-    def __init__(self, code: int):
-        self.code = code
+#: The halt signal is the unified API's — kept under the old internal name
+#: for the module's own handlers.
+_Halt = MachineHalted
 
 
-@dataclasses.dataclass
-class ExecutionResult:
-    """Outcome of one simulated run."""
+class ExecutionResult(RunResult):
+    """Deprecated alias for :class:`repro.core.api.RunResult`.
 
-    exit_code: int
-    stats: ExecutionStats
-    output: str
+    Kept so pre-unification callers and cached farm artifacts still load;
+    new code should construct and consume :class:`RunResult`.
+    """
 
-    @property
-    def cycles(self) -> int:
-        return self.stats.cycles
-
-    def to_dict(self) -> dict:
-        return {
-            "exit_code": self.exit_code,
-            "output": self.output,
-            "stats": self.stats.to_dict(),
-        }
+    def __init__(self, exit_code: int, stats: ExecutionStats, output: str):
+        warnings.warn(
+            "ExecutionResult is deprecated; use repro.core.api.RunResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(machine="risc1", exit_code=exit_code, output=output, stats=stats)
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "ExecutionResult":
-        return cls(
-            exit_code=payload["exit_code"],
-            stats=ExecutionStats.from_dict(payload["stats"]),
-            output=payload["output"],
-        )
+    def from_dict(cls, payload: dict) -> RunResult:
+        """Load a result payload, including legacy ones with no machine tag."""
+        return RunResult.from_dict(payload, default_machine="risc1")
 
 
 class CPU:
-    """A RISC I processor attached to a memory."""
+    """A RISC I processor attached to a memory.
+
+    Implements the unified :class:`repro.core.api.Machine` protocol;
+    ``tracer``/``metrics`` opt into the observability layer and cost one
+    pre-resolved boolean test per potential event when left off.
+    """
+
+    #: machine tag used in unified result payloads
+    name = "risc1"
 
     def __init__(
         self,
@@ -107,12 +116,18 @@ class CPU:
         timing: RiscTiming | None = None,
         trace_calls: bool = False,
         spill_batch: int = 1,
+        tracer=None,
+        metrics=None,
     ):
         self.memory = Memory(memory_size)
         self.regs = RegisterFile(num_windows, spill_batch=spill_batch)
         self.psw = PSW()
         self.timing = timing or RiscTiming()
         self.stats = ExecutionStats()
+        self.metrics = metrics
+        self._install_tracer(tracer)
+        self._halted = False
+        self._exit_code: int | None = None
         self.pc = 0
         self.npc = 4
         self._last_pc = 0
@@ -136,6 +151,20 @@ class CPU:
         #: Optional per-instruction hook ``fn(pc, instruction)``.
         self.on_execute: Callable[[int, Instruction], None] | None = None
 
+    # -- observability -----------------------------------------------------
+
+    def _install_tracer(self, tracer) -> None:
+        """Resolve the tracer once; the step loop only tests booleans."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        wants = self.tracer.wants
+        self._trace_retire = wants(EventKind.RETIRE)
+        self._trace_mem = wants(EventKind.MEM_REF)
+        self._trace_flow = wants(EventKind.CALL) or wants(EventKind.RET)
+        self._trace_window = wants(EventKind.WINDOW_OVERFLOW) or wants(
+            EventKind.WINDOW_UNDERFLOW
+        )
+        self._trace_trap = wants(EventKind.TRAP)
+
     # -- program loading ---------------------------------------------------
 
     def load(self, program: Program) -> None:
@@ -144,23 +173,49 @@ class CPU:
             self.memory.load_image(segment.base, segment.data)
         self.pc = program.entry
         self.npc = program.entry + 4
+        self._halted = False
+        self._exit_code = None
         self.regs.write(SP, self._stack_top)
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, max_instructions: int = 100_000_000) -> ExecutionResult:
-        """Run until the program halts (or the instruction limit trips)."""
+    @property
+    def halted(self) -> bool:
+        """True once the loaded program has executed its halt."""
+        return self._halted
+
+    @property
+    def exit_code(self) -> int | None:
+        return self._exit_code
+
+    def run(
+        self,
+        max_instructions: int | None = None,
+        *,
+        max_steps: int | None = None,
+        tracer=None,
+    ) -> RunResult:
+        """Run until the program halts.
+
+        Exceeding the step budget raises :class:`StepLimitExceeded`.
+        ``max_instructions`` is the deprecated spelling of ``max_steps``.
+        A ``tracer`` passed here is installed for this run (and stays).
+        """
+        limit = resolve_max_steps(max_instructions, max_steps)
+        if tracer is not None:
+            self._install_tracer(tracer)
         try:
-            for _ in range(max_instructions):
+            for _ in range(limit):
                 self.step()
-            raise Trap(
-                TrapKind.HALT,
-                f"instruction limit of {max_instructions} reached",
-                pc=self.pc,
-            )
+            raise StepLimitExceeded(limit, pc=self.pc)
         except _Halt as halt:
             self._sync_memory_stats()
-            return ExecutionResult(halt.code, self.stats, "".join(self._console))
+            result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
+            if self.metrics is not None:
+                from repro.obs.metrics import record_machine_run
+
+                record_machine_run(self.metrics, result)
+            return result
 
     def raise_interrupt(self, vector: int) -> None:
         """Latch an external interrupt request.
@@ -206,6 +261,12 @@ class CPU:
         except _Halt:
             # account the halting store itself before unwinding
             self.stats.record(inst.opcode, self.timing.instruction_cycles(inst.opcode))
+            if self._trace_retire:
+                self.tracer.retire(self.stats.cycles, pc, inst.opcode.name, 1)
+            raise
+        except Trap as trap:
+            if self._trace_trap:
+                self.tracer.trap(self.stats.cycles, pc, trap.kind.name, trap.detail)
             raise
         if pending is not None:
             if self._pending is not None:
@@ -220,6 +281,10 @@ class CPU:
         self._last_pc = pc
         self.pc, self.npc = self.npc, next_npc
         self.stats.record(inst.opcode, self.timing.instruction_cycles(inst.opcode))
+        if self._trace_retire:
+            self.tracer.retire(
+                self.stats.cycles, pc, inst.opcode.name, self.timing.instruction_cycles(inst.opcode)
+            )
 
     # -- instruction semantics ----------------------------------------------
 
@@ -305,6 +370,8 @@ class CPU:
         except Trap as trap:
             trap.pc = pc
             raise
+        if self._trace_mem:
+            self.tracer.mem_ref(self.stats.cycles, pc, address, "r", width)
         self.regs.write(inst.dest, value & WORD)
 
     def _store(self, inst: Instruction, pc: int) -> None:
@@ -319,6 +386,8 @@ class CPU:
         except Trap as trap:
             trap.pc = pc
             raise
+        if self._trace_mem:
+            self.tracer.mem_ref(self.stats.cycles, pc, address, "w", width)
 
     def _mmio_store(self, address: int, value: int) -> None:
         self.memory.stats.data_writes += 1
@@ -327,7 +396,9 @@ class CPU:
         elif address == MMIO_PUTINT:
             self._console.append(str(to_signed(value)))
         elif address == MMIO_HALT:
-            raise _Halt(to_signed(value))
+            self._halted = True
+            self._exit_code = to_signed(value)
+            raise _Halt(self._exit_code)
         else:
             raise Trap(TrapKind.BUS_ERROR, f"unknown MMIO address {address:#x}")
 
@@ -365,6 +436,10 @@ class CPU:
             self._leave_frame()
 
     def _enter_frame(self, dest: int, pc: int) -> None:
+        if self._trace_flow:
+            # emitted before any spill so a CALL that overflows traces as
+            # CALL -> WINDOW_OVERFLOW, matching the machine's causality
+            self.tracer.call(self.stats.cycles, pc, self.regs.depth + 1)
         spills = self.regs.call_advance()
         if spills:
             self._spill_windows(spills)
@@ -381,6 +456,8 @@ class CPU:
         return target
 
     def _leave_frame(self) -> None:
+        if self._trace_flow:
+            self.tracer.ret(self.stats.cycles, self.pc, self.regs.depth - 1)
         fill = self.regs.ret_retreat()
         if fill is not None:
             self._fill_window(fill)
@@ -396,6 +473,8 @@ class CPU:
                 self._save_sp -= 4
                 self.memory.write(self._save_sp, self.regs.read_physical(slot), 4)
         self.stats.window_overflows += 1
+        if self._trace_window:
+            self.tracer.window_overflow(self.stats.cycles, len(windows), self.regs.depth)
         registers = self.timing.window_registers * len(windows)
         self.stats.spilled_registers += registers
         cycles = self.timing.trap_entry_cycles + registers * self.timing.memory_op_cycles
@@ -408,6 +487,8 @@ class CPU:
             self._save_sp += 4
         self.regs.note_fill()
         self.stats.window_underflows += 1
+        if self._trace_window:
+            self.tracer.window_underflow(self.stats.cycles, self.regs.depth)
         self.stats.filled_registers += self.timing.window_registers
         self.stats.cycles += self.timing.underflow_handler_cycles
         self.stats.overflow_cycles += self.timing.underflow_handler_cycles

@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 from collections import Counter
 
+from repro.core.api import register_stats_type
 from repro.isa.opcodes import Category, Opcode, opcode_info
 
 
@@ -91,3 +92,6 @@ class ExecutionStats:
             f"max call depth        : {self.max_call_depth}",
         ]
         return "\n".join(lines)
+
+
+register_stats_type("risc1", ExecutionStats)

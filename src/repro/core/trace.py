@@ -12,7 +12,8 @@ import dataclasses
 from typing import Optional
 
 from repro.asm.disasm import disassemble
-from repro.core.cpu import CPU, ExecutionResult
+from repro.core.api import MachineHalted, RunResult
+from repro.core.cpu import CPU
 
 
 @dataclasses.dataclass
@@ -48,7 +49,7 @@ class TraceEntry:
 @dataclasses.dataclass
 class Trace:
     entries: list[TraceEntry]
-    result: Optional[ExecutionResult]
+    result: Optional[RunResult]
 
     def render(self, limit: int | None = None) -> str:
         entries = self.entries if limit is None else self.entries[:limit]
@@ -67,10 +68,8 @@ def trace_run(cpu: CPU, max_instructions: int = 100_000) -> Trace:
     Tracing snapshots the visible window around each step, so it is far
     slower than :meth:`CPU.run`; use it on small programs.
     """
-    from repro.core.cpu import _Halt  # the internal halt signal
-
     entries: list[TraceEntry] = []
-    result: ExecutionResult | None = None
+    result: RunResult | None = None
     for index in range(max_instructions):
         pc = cpu.pc
         word = cpu.memory.dump(pc, 4)
@@ -79,9 +78,9 @@ def trace_run(cpu: CPU, max_instructions: int = 100_000) -> Trace:
         cwp_before = cpu.regs.cwp
         try:
             cpu.step()
-        except _Halt as halt:
+        except MachineHalted as halt:
             cpu._sync_memory_stats()
-            result = ExecutionResult(halt.code, cpu.stats, "".join(cpu._console))
+            result = RunResult(cpu.name, halt.code, "".join(cpu._console), cpu.stats)
         after = cpu.regs.snapshot_visible()
         cc = cpu.psw.cc
         entries.append(

@@ -28,6 +28,38 @@ EXPERIMENTS = {
 }
 
 
+def _write_trace(path: str) -> None:
+    """Record an instrumented Hanoi(18) run and export a Chrome trace.
+
+    Compiler phases land on the toolchain track (wall-clock), the call /
+    return / window-traffic timeline of the RISC I run lands on the
+    machine track (simulated cycles); the result loads directly in
+    Perfetto or ``chrome://tracing``.
+    """
+    from repro.cc.driver import compile_program
+    from repro.core.cpu import CPU
+    from repro.experiments.common import RISC_CYCLE_NS
+    from repro.obs import FLOW_KINDS, EventKind, Tracer, write_chrome_trace
+    from repro.workloads import ALL_WORKLOADS
+
+    # The compiler gets its own small tracer: a long run overflows the
+    # machine tracer's ring and would evict the handful of PHASE events.
+    cc_tracer = Tracer(kinds={EventKind.PHASE})
+    program = compile_program(
+        ALL_WORKLOADS["towers"].source(DISKS=18), target="risc1", tracer=cc_tracer
+    )
+    tracer = Tracer(capacity=1 << 18, kinds=FLOW_KINDS, cycle_ns=RISC_CYCLE_NS)
+    cpu = CPU(tracer=tracer)
+    cpu.load(program.program)
+    result = cpu.run(max_steps=500_000_000)
+    write_chrome_trace(list(cc_tracer.events) + list(tracer.events), path)
+    print(
+        f"[trace: hanoi(18) on risc1 — {result.cycles} cycles, "
+        f"{len(tracer.events)} events kept ({tracer.dropped} dropped) -> {path}]",
+        file=sys.stderr,
+    )
+
+
 def _prewarm(scale: str, jobs: int) -> None:
     """Fill the farm's on-disk cache in parallel before the (serial) table
     code runs, so every ``common.compiled/executed/ir_profile`` call hits."""
@@ -72,6 +104,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the experiment index and exit",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also record an instrumented hanoi(18) run as a Chrome trace at PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the aggregated run-metrics registry after the experiments",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -88,6 +130,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs > 1:
         _prewarm(args.scale, args.jobs)
+
+    registry = None
+    if args.metrics:
+        from repro.experiments import common
+
+        registry = common.enable_metrics()
 
     documents = []
     for key in args.experiments:
@@ -113,6 +161,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(json.dumps(documents, indent=2, sort_keys=True))
+
+    if registry is not None:
+        print(registry.render(), file=sys.stderr)
+    if args.trace:
+        _write_trace(args.trace)
     return 0
 
 

@@ -18,6 +18,7 @@ from repro.cc.irvm import IRResult
 from repro.core.cpu import CPU
 from repro.farm import runner as farm_runner
 from repro.farm.jobs import workload_source
+from repro.obs.metrics import MetricsRegistry, record_machine_run
 from repro.workloads import ALL_WORKLOADS
 
 __all__ = [
@@ -25,8 +26,10 @@ __all__ = [
     "RISC_CYCLE_NS",
     "cisc_ms",
     "compiled",
+    "enable_metrics",
     "executed",
     "ir_profile",
+    "metrics_registry",
     "risc_ms",
     "traced_run",
     "workload_source",
@@ -35,6 +38,27 @@ __all__ = [
 #: simulated clock periods, as in the paper's comparison
 RISC_CYCLE_NS = 400.0
 CISC_CYCLE_NS = 200.0
+
+#: process-wide metrics sink; ``None`` until :func:`enable_metrics` is called
+_metrics: MetricsRegistry | None = None
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Turn on run accounting for this process; returns the shared registry.
+
+    Once enabled, every *distinct* workload run that flows through
+    :func:`executed` (one per L1-cache entry, so re-reads of the same
+    measurement are not double-counted) is folded into the registry.
+    """
+    global _metrics
+    if _metrics is None:
+        _metrics = MetricsRegistry()
+    return _metrics
+
+
+def metrics_registry() -> MetricsRegistry | None:
+    """The shared registry, or ``None`` when metrics are disabled."""
+    return _metrics
 
 
 @functools.lru_cache(maxsize=None)
@@ -45,7 +69,10 @@ def compiled(name: str, target: str, scale: str = "default") -> CompiledProgram:
 @functools.lru_cache(maxsize=None)
 def executed(name: str, target: str, scale: str = "default"):
     """Run a workload on its target simulator (output-verified by the farm)."""
-    return farm_runner.executed(name, target, scale)
+    result = farm_runner.executed(name, target, scale)
+    if _metrics is not None:
+        record_machine_run(_metrics, result)
+    return result
 
 
 @functools.lru_cache(maxsize=None)
@@ -64,7 +91,7 @@ def traced_run(name: str, scale: str = "default", num_windows: int = 8):
     program = compiled(name, "risc1", scale)
     cpu = CPU(num_windows=num_windows, trace_calls=True)
     cpu.load(program.program)
-    result = cpu.run(max_instructions=500_000_000)
+    result = cpu.run(max_steps=500_000_000)
     return cpu, result
 
 

@@ -35,7 +35,7 @@ def run(scale: str = "default") -> Table:
         optimized = compile_program(source, target="risc1", fill_delay_slots=True)
         raw = compile_program(source, target="risc1", fill_delay_slots=False)
         run_optimized = common.executed(name, "risc1", scale)
-        run_raw = run_compiled(raw, max_instructions=500_000_000)
+        run_raw = run_compiled(raw, max_steps=500_000_000)
         expected = ALL_WORKLOADS[name].expected_output(
             **(ALL_WORKLOADS[name].bench_params if scale == "bench" else {})
         )

@@ -42,7 +42,7 @@ def _risc_time_ns(name: str, scale: str, latency_ns: int) -> float:
     program = common.compiled(name, "risc1", scale)
     cpu = CPU(timing=RiscTiming(memory_op_cycles=memory_cycles))
     cpu.load(program.program)
-    return cpu.run(max_instructions=500_000_000).stats.cycles * RISC_CYCLE_NS
+    return cpu.run(max_steps=500_000_000).stats.cycles * RISC_CYCLE_NS
 
 
 def _cisc_time_ns(name: str, scale: str, latency_ns: int) -> float:
@@ -50,7 +50,7 @@ def _cisc_time_ns(name: str, scale: str, latency_ns: int) -> float:
     program = common.compiled(name, "cisc", scale)
     cpu = VaxCPU(timing=VaxTiming(memory_cycles=memory_cycles))
     cpu.load(program.program)
-    return cpu.run(max_instructions=500_000_000).stats.cycles * CISC_CYCLE_NS
+    return cpu.run(max_steps=500_000_000).stats.cycles * CISC_CYCLE_NS
 
 
 def run(scale: str = "default") -> Table:

@@ -26,7 +26,7 @@ def _run(name: str, scale: str, windows: int, batch: int):
     program = common.compiled(name, "risc1", scale)
     cpu = CPU(num_windows=windows, spill_batch=batch)
     cpu.load(program.program)
-    return cpu.run(max_instructions=500_000_000)
+    return cpu.run(max_steps=500_000_000)
 
 
 def run(scale: str = "default") -> Table:

@@ -62,7 +62,7 @@ hanoi_work:
 def run_hand(disks: int):
     cpu = CPU()
     cpu.load(assemble(HAND_TOWERS.format(disks=disks)))
-    return cpu.run(max_instructions=500_000_000)
+    return cpu.run(max_steps=500_000_000)
 
 
 def run(scale: str = "default") -> Table:

@@ -38,7 +38,17 @@ def _cmd_run(args) -> int:
         with_ir=not args.no_ir,
     )
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
-    report = run_sweep(jobs, workers=args.jobs, cache=cache)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    report = run_sweep(jobs, workers=args.jobs, cache=cache, tracer=tracer)
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer.events, args.trace)
+        print(f"[trace: {len(tracer.events)} events -> {args.trace}]", file=sys.stderr)
     if args.format == "json":
         print(
             json.dumps(
@@ -116,6 +126,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     run_parser.add_argument("--no-ir", action="store_true", help="skip IR profile jobs")
     run_parser.add_argument("--format", choices=("text", "json"), default="text")
+    run_parser.add_argument(
+        "--trace", metavar="PATH", help="write a Chrome trace of the sweep's job timeline"
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     status_parser = sub.add_parser("status", help="show cache and last-run state")

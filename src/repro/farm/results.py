@@ -44,6 +44,7 @@ class ResultStore:
                     "wall_s": round(outcome.wall_s, 6),
                     "worker": outcome.worker,
                     **({"error": outcome.error} if outcome.error else {}),
+                    **({"metrics": outcome.metrics} if outcome.metrics else {}),
                 }
                 for outcome in report.outcomes
             ],

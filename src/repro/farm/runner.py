@@ -18,8 +18,7 @@ from pathlib import Path
 
 from repro.cc.driver import CompiledProgram, compile_program, run_compiled
 from repro.cc.irvm import IRResult, run_ir
-from repro.core.cpu import ExecutionResult
-from repro.baselines.vax.cpu import VaxExecutionResult
+from repro.core.api import RunResult
 from repro.farm.cache import ArtifactCache, default_cache_root
 from repro.farm.jobs import (
     MAX_INSTRUCTIONS,
@@ -31,12 +30,18 @@ from repro.farm.jobs import (
 )
 from repro.workloads import ALL_WORKLOADS
 
-#: payload tag -> result class, for execution artifacts stored as JSON
-_RESULT_TYPES = {
-    "risc1": ExecutionResult,
-    "cisc": VaxExecutionResult,
-    "ir": IRResult,
-}
+
+def _decode_result(payload: dict):
+    """Rebuild a cached execution/IR artifact from its JSON payload.
+
+    New artifacts are machine-tagged :class:`RunResult` payloads; legacy
+    (pre-unification) ones carry only the farm's target tag, which maps
+    straight onto the machine name.
+    """
+    tag = payload["type"]
+    if tag == "ir":
+        return IRResult.from_dict(payload["result"])
+    return RunResult.from_dict(payload["result"], default_machine=tag)
 
 _caches: dict[Path, ArtifactCache] = {}
 
@@ -93,7 +98,7 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
         payload = cache.load_json(job.key)
         if payload is not None:
             try:
-                return _RESULT_TYPES[payload["type"]].from_dict(payload["result"]), True
+                return _decode_result(payload), True
             except Exception:
                 cache.stats.hits -= 1
                 cache.discard_corrupt(cache.path_for(job.key, "json"))
@@ -103,11 +108,32 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
         value = run_ir(program.ir)
     else:
         limit = dict(job.config).get("max_instructions", MAX_INSTRUCTIONS)
-        value = run_compiled(program, max_instructions=limit)
+        value = run_compiled(program, max_steps=limit)
     _verify(job, value.output)
     if cache is not None:
         cache.store_json(job.key, {"type": tag, "result": value.to_dict()})
     return value, False
+
+
+def job_metrics(job: Job, value) -> dict:
+    """The small metrics record a finished job contributes to the manifest.
+
+    These land in ``runs.jsonl`` next to the job's status/wall time, so a
+    sweep's manifest answers "how much work did each cell do" without
+    reopening any artifact.
+    """
+    if job.kind == "execute":
+        return {
+            "instructions": value.stats.instructions,
+            "cycles": value.stats.cycles,
+            "data_refs": value.stats.data_references,
+            "exit_code": value.exit_code,
+        }
+    if job.kind == "compile":
+        return {"code_size": value.code_size}
+    if job.kind == "ir":
+        return {"ir_ops": value.counts.total, "calls": value.counts.calls}
+    return {}
 
 
 # -- convenience entry points used by repro.experiments.common ----------------------

@@ -23,7 +23,7 @@ import traceback
 from repro.farm.cache import ArtifactCache, CacheStats, default_cache_root
 from repro.farm.jobs import Job, dependency
 from repro.farm.results import ResultStore
-from repro.farm.runner import cache_enabled, run_job
+from repro.farm.runner import cache_enabled, job_metrics, run_job
 
 
 @dataclasses.dataclass
@@ -36,6 +36,8 @@ class JobOutcome:
     wall_s: float
     worker: str  # "serial" or "pool"
     error: str | None = None
+    #: small per-job measurement record (cycles, instructions, code size)
+    metrics: dict | None = None
 
 
 @dataclasses.dataclass
@@ -88,10 +90,12 @@ def _worker_execute(job: Job, cache_root: str | None) -> dict:
     """Pool entry point: run one job, report outcome + cache accounting."""
     cache = ArtifactCache(cache_root) if cache_root is not None else None
     started = time.perf_counter()
+    metrics = None
     try:
-        _, hit = run_job(job, cache)
+        value, hit = run_job(job, cache)
         status = "hit" if hit else "computed"
         error = None
+        metrics = job_metrics(job, value)
     except Exception:
         status = "failed"
         error = traceback.format_exc(limit=4)
@@ -99,18 +103,23 @@ def _worker_execute(job: Job, cache_root: str | None) -> dict:
         "status": status,
         "wall_s": time.perf_counter() - started,
         "error": error,
+        "metrics": metrics,
         "cache": cache.stats.to_dict() if cache is not None else None,
     }
 
 
 def _serial_outcome(job: Job, cache: ArtifactCache | None) -> JobOutcome:
     started = time.perf_counter()
+    metrics = None
     try:
-        _, hit = run_job(job, cache)
+        value, hit = run_job(job, cache)
         status, error = ("hit" if hit else "computed"), None
+        metrics = job_metrics(job, value)
     except Exception as exc:
         status, error = "failed", f"{type(exc).__name__}: {exc}"
-    return JobOutcome(job, job.key, status, time.perf_counter() - started, "serial", error)
+    return JobOutcome(
+        job, job.key, status, time.perf_counter() - started, "serial", error, metrics
+    )
 
 
 def run_sweep(
@@ -119,16 +128,23 @@ def run_sweep(
     cache: ArtifactCache | None = None,
     manifest: bool = True,
     store: ResultStore | None = None,
+    tracer=None,
 ) -> FarmReport:
     """Run a batch of jobs, optionally in parallel, and record the manifest.
 
     ``workers <= 1`` runs everything serially in-process.  With more
     workers, jobs fan across a process pool in dependency waves; any pool
     failure falls back to serial execution of the unfinished jobs.
+
+    An optional ``tracer`` records JOB_START/JOB_FINISH events in the
+    parent process (workers never see it — it is not sent across the
+    pool), giving a wall-clock timeline of the sweep.
     """
     if cache is None and cache_enabled():
         cache = ArtifactCache(default_cache_root())
     cache_root = str(cache.root) if cache is not None else None
+    if tracer is not None and not getattr(tracer, "enabled", True):
+        tracer = None
 
     started = time.perf_counter()
     outcomes: list[JobOutcome] = []
@@ -139,25 +155,40 @@ def run_sweep(
     try:
         for wave in _job_waves(jobs):
             if workers <= 1 or mode == "parallel+fallback":
-                outcomes.extend(_serial_outcome(job, cache) for job in wave)
+                for job in wave:
+                    if tracer is not None:
+                        tracer.job_start(job.key, job.describe())
+                    outcome = _serial_outcome(job, cache)
+                    if tracer is not None:
+                        tracer.job_finish(
+                            outcome.key, job.describe(), outcome.status, outcome.wall_s
+                        )
+                    outcomes.append(outcome)
                 continue
             try:
                 if pool is None:
                     pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
                 futures = {pool.submit(_worker_execute, job, cache_root): job for job in wave}
+                if tracer is not None:
+                    for job in wave:
+                        tracer.job_start(job.key, job.describe())
                 for future in concurrent.futures.as_completed(futures):
                     job = futures[future]
                     record = future.result()
-                    outcomes.append(
-                        JobOutcome(
-                            job,
-                            job.key,
-                            record["status"],
-                            record["wall_s"],
-                            "pool",
-                            record["error"],
-                        )
+                    outcome = JobOutcome(
+                        job,
+                        job.key,
+                        record["status"],
+                        record["wall_s"],
+                        "pool",
+                        record["error"],
+                        record.get("metrics"),
                     )
+                    outcomes.append(outcome)
+                    if tracer is not None:
+                        tracer.job_finish(
+                            outcome.key, job.describe(), outcome.status, outcome.wall_s
+                        )
                     if record["cache"]:
                         totals.merge(CacheStats(**record["cache"]))
             except Exception:
@@ -165,9 +196,15 @@ def run_sweep(
                 # rest of the sweep) serially rather than losing the run
                 mode = "parallel+fallback"
                 finished = {outcome.key for outcome in outcomes}
-                outcomes.extend(
-                    _serial_outcome(job, cache) for job in wave if job.key not in finished
-                )
+                for job in wave:
+                    if job.key in finished:
+                        continue
+                    outcome = _serial_outcome(job, cache)
+                    if tracer is not None:
+                        tracer.job_finish(
+                            outcome.key, job.describe(), outcome.status, outcome.wall_s
+                        )
+                    outcomes.append(outcome)
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)

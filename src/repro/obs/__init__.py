@@ -1,0 +1,51 @@
+"""``repro.obs`` — the cross-cutting observability layer.
+
+Three pieces, one import:
+
+* **Tracing** — :class:`Tracer` records typed events (instruction
+  retires, memory references, window overflow/underflow, traps,
+  calls/returns, compiler phases, farm jobs) into a bounded ring buffer;
+  :data:`NULL_TRACER` is the resolved-once no-op for disabled paths.
+* **Metrics** — :class:`MetricsRegistry` holds counters, gauges and
+  fixed-bucket histograms; :func:`record_machine_run` folds a finished
+  :class:`~repro.core.api.RunResult` into one.
+* **Export** — :func:`write_jsonl` for tooling, :func:`write_chrome_trace`
+  for Perfetto / ``chrome://tracing``; ``python -m repro.obs`` views and
+  summarizes saved traces.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and overhead numbers.
+"""
+
+from repro.obs.events import FLOW_KINDS, SIM_KINDS, Event, EventKind
+from repro.obs.exporters import read_jsonl, to_chrome, write_chrome_trace, write_jsonl
+from repro.obs.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_machine_run,
+)
+from repro.obs.profiling import span
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CYCLE_BUCKETS",
+    "Event",
+    "EventKind",
+    "FLOW_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SIM_KINDS",
+    "Tracer",
+    "read_jsonl",
+    "record_machine_run",
+    "span",
+    "to_chrome",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.obs``."""
+
+from repro.obs.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""``python -m repro.obs`` — inspect saved traces from the shell.
+
+Subcommands::
+
+    view       print a JSONL trace, one event per line
+    summarize  per-kind counts, time span, call/window statistics
+    convert    JSONL trace -> Chrome trace_event JSON (for Perfetto)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.events import EventKind
+from repro.obs.exporters import read_jsonl, write_chrome_trace
+
+
+def _load(path: str):
+    events = read_jsonl(path)
+    if not events:
+        print(f"{path}: no parseable events", file=sys.stderr)
+    return events
+
+
+def _cmd_view(args) -> int:
+    events = _load(args.trace)
+    kinds = {EventKind(k) for k in args.kind} if args.kind else None
+    shown = 0
+    for event in events:
+        if kinds is not None and event.kind not in kinds:
+            continue
+        print(event.render())
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            remaining = len(events) - shown
+            if remaining > 0:
+                print(f"... ({remaining} more; raise --limit)")
+            break
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    events = _load(args.trace)
+    if not events:
+        return 1
+    counts: dict[str, int] = {}
+    max_depth = 0
+    spilled_windows = 0
+    for event in events:
+        counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        if "depth" in event.data:
+            max_depth = max(max_depth, event.data["depth"])
+        if event.kind is EventKind.WINDOW_OVERFLOW:
+            spilled_windows += event.data.get("windows", 1)
+    span_us = events[-1].ts - events[0].ts
+    summary = {
+        "events": len(events),
+        "span_us": round(span_us, 3),
+        "by_kind": dict(sorted(counts.items())),
+        "max_depth_seen": max_depth,
+        "windows_spilled": spilled_windows,
+    }
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"events        : {summary['events']}")
+    print(f"span          : {span_us / 1000.0:.3f} ms (trace timeline)")
+    for kind, count in summary["by_kind"].items():
+        print(f"  {kind:<14}: {count}")
+    if max_depth:
+        print(f"max call depth: {max_depth}")
+    if counts.get(EventKind.WINDOW_OVERFLOW.value):
+        print(f"windows spilt : {spilled_windows}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    events = _load(args.trace)
+    if not events:
+        return 1
+    records = write_chrome_trace(events, args.output)
+    print(f"wrote {records} trace records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="inspect saved observability traces"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    view = sub.add_parser("view", help="print a JSONL trace")
+    view.add_argument("trace", help="path to a .jsonl trace")
+    view.add_argument("--limit", type=int, default=50, help="max events to print (default 50)")
+    view.add_argument(
+        "--kind",
+        action="append",
+        choices=[k.value for k in EventKind],
+        help="only show these kinds (repeatable)",
+    )
+    view.set_defaults(func=_cmd_view)
+
+    summarize = sub.add_parser("summarize", help="summarize a JSONL trace")
+    summarize.add_argument("trace", help="path to a .jsonl trace")
+    summarize.add_argument("--format", choices=("text", "json"), default="text")
+    summarize.set_defaults(func=_cmd_summarize)
+
+    convert = sub.add_parser("convert", help="JSONL -> Chrome trace_event JSON")
+    convert.add_argument("trace", help="path to a .jsonl trace")
+    convert.add_argument("output", help="output .json path (load in Perfetto)")
+    convert.set_defaults(func=_cmd_convert)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

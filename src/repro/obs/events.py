@@ -1,0 +1,100 @@
+"""Typed trace events — the vocabulary of the observability layer.
+
+Every producer in the system (the RISC I step loop, the VAX-like step
+loop, the compiler driver, the simulation farm) speaks this one event
+vocabulary, so one set of exporters and one viewer serve them all.
+
+Timestamps are microseconds on the *trace timeline*.  Simulator events
+map simulated cycles onto that timeline through the machine's cycle
+period (400 ns for RISC I, 200 ns for the VAX-like baseline); toolchain
+and farm events use wall-clock time relative to the tracer's epoch.  The
+two domains land on separate tracks (``pid``) in the Chrome exporter, so
+mixing them in one trace is well-defined.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class EventKind(str, enum.Enum):
+    """Every event type the tracer understands."""
+
+    #: one instruction retired (pc, op, cycle cost)
+    RETIRE = "retire"
+    #: one data-memory reference (addr, r/w, width)
+    MEM_REF = "mem"
+    #: register-window overflow trap (windows spilled, call depth)
+    WINDOW_OVERFLOW = "win_overflow"
+    #: register-window underflow trap (call depth)
+    WINDOW_UNDERFLOW = "win_underflow"
+    #: machine trap (kind, detail)
+    TRAP = "trap"
+    #: procedure call (call-site pc, new depth)
+    CALL = "call"
+    #: procedure return (pc, new depth)
+    RET = "ret"
+    #: a timed toolchain phase (compiler pass, assembly, ...)
+    PHASE = "phase"
+    #: farm job started
+    JOB_START = "job_start"
+    #: farm job finished (status, wall seconds)
+    JOB_FINISH = "job_finish"
+
+
+#: Kinds produced by a machine's step loop (simulated-time domain).
+SIM_KINDS = frozenset(
+    {
+        EventKind.RETIRE,
+        EventKind.MEM_REF,
+        EventKind.WINDOW_OVERFLOW,
+        EventKind.WINDOW_UNDERFLOW,
+        EventKind.TRAP,
+        EventKind.CALL,
+        EventKind.RET,
+    }
+)
+
+#: The default kind filter for call-structure traces: small enough to
+#: ring-buffer a long run, rich enough to see the paper's story (calls,
+#: returns, window traffic) in Perfetto.
+FLOW_KINDS = frozenset(
+    {
+        EventKind.CALL,
+        EventKind.RET,
+        EventKind.WINDOW_OVERFLOW,
+        EventKind.WINDOW_UNDERFLOW,
+        EventKind.TRAP,
+    }
+)
+
+
+@dataclasses.dataclass(slots=True)
+class Event:
+    """One trace event: a kind, a timestamp, and a small payload."""
+
+    kind: EventKind
+    #: microseconds on the trace timeline (see module docstring)
+    ts: float
+    #: program counter for machine events, 0 otherwise
+    pc: int = 0
+    data: dict = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind.value, "ts": round(self.ts, 3), "pc": self.pc, "data": self.data}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Event":
+        return cls(
+            kind=EventKind(payload["kind"]),
+            ts=payload["ts"],
+            pc=payload.get("pc", 0),
+            data=payload.get("data", {}),
+        )
+
+    def render(self) -> str:
+        """One human-readable line, as printed by ``repro.obs view``."""
+        fields = " ".join(f"{key}={value}" for key, value in self.data.items())
+        pc = f" pc={self.pc:#010x}" if self.pc else ""
+        return f"{self.ts:>14.3f}us  {self.kind.value:<13}{pc}  {fields}".rstrip()

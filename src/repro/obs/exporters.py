@@ -1,0 +1,228 @@
+"""Trace exporters: JSONL for tooling, Chrome ``trace_event`` for humans.
+
+The JSONL form is the lossless interchange format (one event per line,
+stable schema, read back by :func:`read_jsonl` and the ``repro.obs``
+CLI).  The Chrome form is the *viewable* one: load it in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` and the call tree,
+window traffic, compiler phases and farm jobs appear as tracks.
+
+Mapping choices:
+
+* CALL/RET become ``B``/``E`` duration slices (the call tree), plus a
+  ``C`` counter track of call depth;
+* window overflow/underflow and traps are instant events;
+* retires are slices of their cycle cost (only present if the tracer
+  recorded them — they are usually filtered at the source);
+* compiler phases and farm jobs are complete (``X``) slices on their own
+  process tracks, in wall time.
+
+A ring buffer may have evicted the opening ``CALL`` of a still-open
+frame, so the exporter drops returns with no matching call and closes
+frames left open at the end of the buffer — Perfetto requires balanced
+begin/end pairs per track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.events import Event, EventKind
+
+#: Chrome trace "process" ids — one per time domain / producer.
+PID_MACHINE = 1
+PID_TOOLCHAIN = 2
+PID_FARM = 3
+
+_PROCESS_NAMES = {
+    PID_MACHINE: "simulated machine",
+    PID_TOOLCHAIN: "toolchain",
+    PID_FARM: "farm",
+}
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def write_jsonl(events: Iterable[Event], path: str | Path) -> int:
+    """Write events, one JSON object per line.  Returns the event count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[Event]:
+    """Read a JSONL trace back into events (malformed lines are skipped).
+
+    A missing file reads as an empty trace — the CLI treats the two the
+    same way.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return []
+    events: list[Event] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            events.append(Event.from_dict(payload))
+        except (ValueError, KeyError):
+            continue
+    return events
+
+
+# -- Chrome trace_event -----------------------------------------------------
+
+
+def to_chrome(events: Iterable[Event]) -> dict:
+    """Convert events to a Chrome ``trace_event`` JSON document."""
+    trace: list[dict] = []
+    call_stack: list[dict] = []
+    last_ts = 0.0
+
+    def add(record: dict) -> None:
+        trace.append(record)
+
+    for pid, name in _PROCESS_NAMES.items():
+        add(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": name},
+            }
+        )
+
+    for event in events:
+        ts = event.ts
+        last_ts = max(last_ts, ts)
+        data = event.data
+        if event.kind is EventKind.CALL:
+            record = {
+                "ph": "B",
+                "pid": PID_MACHINE,
+                "tid": 1,
+                "ts": ts,
+                "name": f"call@{event.pc:#x}",
+                "args": {"depth": data.get("depth", 0)},
+            }
+            call_stack.append(record)
+            add(record)
+            add(_depth_counter(ts, data.get("depth", 0)))
+        elif event.kind is EventKind.RET:
+            if not call_stack:
+                # the matching CALL was evicted from the ring; skip so the
+                # track stays balanced
+                add(_depth_counter(ts, data.get("depth", 0)))
+                continue
+            call_stack.pop()
+            add({"ph": "E", "pid": PID_MACHINE, "tid": 1, "ts": ts})
+            add(_depth_counter(ts, data.get("depth", 0)))
+        elif event.kind is EventKind.RETIRE:
+            add(
+                {
+                    "ph": "X",
+                    "pid": PID_MACHINE,
+                    "tid": 2,
+                    "ts": ts,
+                    "dur": max(data.get("dur", 0.0), 0.001),
+                    "name": data.get("op", "?"),
+                    "args": {"pc": f"{event.pc:#x}"},
+                }
+            )
+        elif event.kind in (EventKind.WINDOW_OVERFLOW, EventKind.WINDOW_UNDERFLOW, EventKind.TRAP):
+            add(
+                {
+                    "ph": "i",
+                    "pid": PID_MACHINE,
+                    "tid": 1,
+                    "ts": ts,
+                    "s": "t",
+                    "name": event.kind.value,
+                    "args": dict(data),
+                }
+            )
+        elif event.kind is EventKind.MEM_REF:
+            add(
+                {
+                    "ph": "i",
+                    "pid": PID_MACHINE,
+                    "tid": 3,
+                    "ts": ts,
+                    "s": "t",
+                    "name": f"mem.{data.get('rw', '?')}",
+                    "args": dict(data),
+                }
+            )
+        elif event.kind is EventKind.PHASE:
+            add(
+                {
+                    "ph": "X",
+                    "pid": PID_TOOLCHAIN,
+                    "tid": 1,
+                    "ts": ts,
+                    "dur": max(data.get("dur", 0.0), 0.001),
+                    "name": data.get("name", "phase"),
+                    "args": {k: v for k, v in data.items() if k not in ("name", "dur")},
+                }
+            )
+        elif event.kind is EventKind.JOB_FINISH:
+            add(
+                {
+                    "ph": "X",
+                    "pid": PID_FARM,
+                    "tid": 1,
+                    "ts": ts,
+                    "dur": max(data.get("dur", 0.0), 0.001),
+                    "name": data.get("job", "job"),
+                    "args": {"status": data.get("status"), "key": data.get("key", "")[:16]},
+                }
+            )
+        elif event.kind is EventKind.JOB_START:
+            add(
+                {
+                    "ph": "i",
+                    "pid": PID_FARM,
+                    "tid": 1,
+                    "ts": ts,
+                    "s": "p",
+                    "name": data.get("job", "job"),
+                    "args": {"key": data.get("key", "")[:16]},
+                }
+            )
+
+    # close frames still open when the buffer ended
+    while call_stack:
+        call_stack.pop()
+        add({"ph": "E", "pid": PID_MACHINE, "tid": 1, "ts": last_ts})
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def _depth_counter(ts: float, depth: int) -> dict:
+    return {
+        "ph": "C",
+        "pid": PID_MACHINE,
+        "tid": 1,
+        "ts": ts,
+        "name": "call depth",
+        "args": {"depth": depth},
+    }
+
+
+def write_chrome_trace(events: Iterable[Event], path: str | Path) -> int:
+    """Write a Perfetto-loadable Chrome trace.  Returns the record count."""
+    document = to_chrome(events)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return len(document["traceEvents"])

@@ -1,0 +1,191 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+This is the aggregate side of the observability layer: where the tracer
+records *what happened in order*, the registry records *how much of it
+happened*.  The machine stats objects (``ExecutionStats``, ``VaxStats``)
+remain the per-run ground truth; :func:`record_machine_run` folds any
+finished :class:`~repro.core.api.RunResult` into a registry, which is how
+the experiment CLI's ``--metrics`` flag and the farm's per-job manifest
+metrics are produced without a second accounting path in the hot loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_CYCLE_BUCKETS",
+    "record_machine_run",
+]
+
+#: Decade buckets wide enough for anything from a smoke test to a
+#: paper-scale benchmark run (upper bounds, inclusive).
+DEFAULT_CYCLE_BUCKETS = tuple(10**k for k in range(3, 11))
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A value that can go anywhere; remembers the last set and the max."""
+
+    name: str
+    value: float = 0.0
+    max_value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.max_value = max(self.max_value, value)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """A fixed-boundary histogram (cumulative-friendly, Prometheus-style).
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last boundary.  Boundaries are fixed at
+    construction so merged histograms are always well-defined.
+    """
+
+    def __init__(self, name: str, buckets: tuple = DEFAULT_CYCLE_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics with create-or-get accessors."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, kind):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, buckets: tuple = DEFAULT_CYCLE_BUCKETS) -> Histogram:
+        histogram = self._get(name, Histogram, lambda: Histogram(name, buckets))
+        if histogram.buckets != tuple(buckets):
+            raise ValueError(f"metric {name!r} already registered with different buckets")
+        return histogram
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def to_dict(self) -> dict:
+        return {name: self._metrics[name].to_dict() for name in self.names()}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (same-name metrics combine)."""
+        for name in other.names():
+            metric = other._metrics[name]
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                gauge = self.gauge(name)
+                gauge.set(metric.value)
+                gauge.max_value = max(gauge.max_value, metric.max_value)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(name, metric.buckets)
+                mine.counts = [a + b for a, b in zip(mine.counts, metric.counts)]
+                mine.total += metric.total
+                mine.sum += metric.sum
+
+    def render(self) -> str:
+        """A human-readable dump, one metric per line."""
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"{name:<40} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{name:<40} {metric.value:g} (max {metric.max_value:g})")
+            elif isinstance(metric, Histogram):
+                lines.append(
+                    f"{name:<40} n={metric.total} mean={metric.mean:.1f} "
+                    f"buckets={dict(zip(metric.buckets, metric.counts))}"
+                )
+        return "\n".join(lines)
+
+
+def record_machine_run(registry: MetricsRegistry, result, prefix: str | None = None) -> None:
+    """Fold one finished machine run into a registry.
+
+    Every integer field of the run's stats becomes (an increment of) a
+    same-named counter under ``<machine>.``, plus a run counter and a
+    cycles-per-run histogram — which is how the registry *subsumes* the
+    ad-hoc stats counters without replacing them as ground truth.
+    """
+    prefix = prefix or result.machine
+    registry.counter(f"{prefix}.runs").inc()
+    for name, value in result.stats.to_dict().items():
+        if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+            continue
+        if name == "max_call_depth":
+            registry.gauge(f"{prefix}.max_call_depth").set(value)
+            continue
+        registry.counter(f"{prefix}.{name}").inc(int(value))
+    registry.histogram(f"{prefix}.cycles_per_run").observe(result.stats.cycles)

@@ -1,0 +1,30 @@
+"""Wall-clock profiling spans for the toolchain.
+
+:func:`span` wraps a phase of host-side work (a compiler pass, an
+assembly step) in a :data:`~repro.obs.events.EventKind.PHASE` event.  It
+is designed for call sites that run with tracing disabled almost always:
+with no tracer (or a :class:`~repro.obs.tracer.NullTracer`) the context
+manager body reduces to two attribute tests and no clock reads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.obs.events import EventKind
+
+
+@contextlib.contextmanager
+def span(tracer, name: str, **data):
+    """Time a block of host work as a PHASE event on ``tracer``.
+
+    ``tracer`` may be ``None`` or disabled; then this is (nearly) free.
+    """
+    if tracer is None or not tracer.enabled or not tracer.wants(EventKind.PHASE):
+        yield
+        return
+    start = tracer.now_us()
+    try:
+        yield
+    finally:
+        tracer.phase(name, start, tracer.now_us() - start, **data)

@@ -1,0 +1,168 @@
+"""The event tracer: a bounded ring buffer of typed events.
+
+Two implementations share one interface:
+
+* :class:`Tracer` records events into a ``collections.deque`` with a hard
+  capacity (old events are dropped, and counted, rather than growing
+  without bound on a long simulation);
+* :class:`NullTracer` is a no-op.  Producers resolve their tracer **once
+  at construction** — the machines additionally cache per-kind "wants"
+  booleans so the disabled hot path costs one attribute test per
+  potential event, not a call.
+
+A tracer is deliberately cheap to interrogate: ``wants(kind)`` is a
+frozenset membership test, and every emit helper takes the producer's
+native units (simulated cycles for machines, wall microseconds for the
+toolchain) so producers do no conversion work of their own beyond one
+multiply.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Iterable
+
+from repro.obs.events import Event, EventKind
+
+
+class Tracer:
+    """Records typed events into a bounded ring buffer.
+
+    ``capacity`` bounds memory: once full, the oldest events are evicted
+    and ``dropped`` counts them.  ``kinds`` filters at the source — a
+    producer asks ``wants(kind)`` before paying for an emit.
+    ``cycle_ns`` maps simulated cycles onto the trace's microsecond
+    timeline; set it to the traced machine's cycle period.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 1 << 16,
+        kinds: Iterable[EventKind] | None = None,
+        cycle_ns: float = 400.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.events: deque[Event] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self.dropped = 0
+        self.cycle_ns = cycle_ns
+        self._wants = frozenset(EventKind) if kinds is None else frozenset(kinds)
+        self._epoch = time.perf_counter()
+
+    # -- interrogation ------------------------------------------------------
+
+    def wants(self, kind: EventKind) -> bool:
+        return kind in self._wants
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def now_us(self) -> float:
+        """Wall-clock microseconds since this tracer was created."""
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    # -- recording ----------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        events = self.events
+        if len(events) == events.maxlen:
+            self.dropped += 1
+        events.append(event)
+
+    def _us(self, cycles: int) -> float:
+        return cycles * self.cycle_ns / 1000.0
+
+    # machine events (timestamps in simulated cycles) -----------------------
+
+    def retire(self, cycles: int, pc: int, op: str, cost: int) -> None:
+        self.emit(
+            Event(
+                EventKind.RETIRE,
+                self._us(cycles),
+                pc,
+                {"op": op, "cycles": cost, "dur": self._us(cost)},
+            )
+        )
+
+    def mem_ref(self, cycles: int, pc: int, addr: int, rw: str, width: int) -> None:
+        self.emit(
+            Event(EventKind.MEM_REF, self._us(cycles), pc, {"addr": addr, "rw": rw, "width": width})
+        )
+
+    def call(self, cycles: int, pc: int, depth: int) -> None:
+        self.emit(Event(EventKind.CALL, self._us(cycles), pc, {"depth": depth}))
+
+    def ret(self, cycles: int, pc: int, depth: int) -> None:
+        self.emit(Event(EventKind.RET, self._us(cycles), pc, {"depth": depth}))
+
+    def window_overflow(self, cycles: int, windows: int, depth: int) -> None:
+        self.emit(
+            Event(
+                EventKind.WINDOW_OVERFLOW,
+                self._us(cycles),
+                0,
+                {"windows": windows, "depth": depth},
+            )
+        )
+
+    def window_underflow(self, cycles: int, depth: int) -> None:
+        self.emit(Event(EventKind.WINDOW_UNDERFLOW, self._us(cycles), 0, {"depth": depth}))
+
+    def trap(self, cycles: int, pc: int, kind: str, detail: str) -> None:
+        self.emit(Event(EventKind.TRAP, self._us(cycles), pc, {"trap": kind, "detail": detail}))
+
+    # toolchain / farm events (timestamps in wall microseconds) -------------
+
+    def phase(self, name: str, start_us: float, dur_us: float, **data) -> None:
+        self.emit(Event(EventKind.PHASE, start_us, 0, {"name": name, "dur": dur_us, **data}))
+
+    def job_start(self, key: str, describe: str) -> None:
+        self.emit(Event(EventKind.JOB_START, self.now_us(), 0, {"key": key, "job": describe}))
+
+    def job_finish(self, key: str, describe: str, status: str, wall_s: float) -> None:
+        end = self.now_us()
+        self.emit(
+            Event(
+                EventKind.JOB_FINISH,
+                max(end - wall_s * 1e6, 0.0),
+                0,
+                {"key": key, "job": describe, "status": status, "dur": wall_s * 1e6},
+            )
+        )
+
+    # -- summarizing --------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    Producers resolve ``tracer or NULL_TRACER`` once at construction and
+    cache ``wants(...)`` results, so a disabled producer never branches on
+    tracer internals per event.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(capacity=1)
+        self._wants = frozenset()
+
+    def wants(self, kind: EventKind) -> bool:
+        return False
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - never hot
+        pass
+
+
+#: Shared no-op instance; there is no reason to make another.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,237 @@
+"""The observability layer itself: tracer, metrics, exporters, CLI."""
+
+import json
+
+import pytest
+
+from repro.cc.driver import compile_program
+from repro.obs import (
+    FLOW_KINDS,
+    NULL_TRACER,
+    Event,
+    EventKind,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    read_jsonl,
+    record_machine_run,
+    span,
+    to_chrome,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.cli import main as obs_main
+
+
+def flow_trace(n=6):
+    """A small, well-formed call/window event sequence."""
+    tracer = Tracer(kinds=FLOW_KINDS, cycle_ns=1000.0)  # 1 cycle == 1 us
+    depth = 0
+    for i in range(n):
+        depth += 1
+        tracer.call(cycles=i * 10, pc=0x1000 + i * 8, depth=depth)
+    tracer.window_overflow(cycles=n * 10, windows=1, depth=depth)
+    for i in range(n):
+        depth -= 1
+        tracer.ret(cycles=(n + 1 + i) * 10, pc=0x2000 + i * 8, depth=depth)
+    return tracer
+
+
+class TestTracer:
+    def test_ring_capacity_and_dropped(self):
+        tracer = Tracer(capacity=4)
+        for cycles in range(10):
+            tracer.retire(cycles, pc=0, op="ADD", cost=1)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # the ring keeps the *newest* events
+        assert [e.data["cycles"] for e in tracer.events] == [1, 1, 1, 1]
+        assert [e.ts for e in tracer.events] == [2.4, 2.8, 3.2, 3.6]
+
+    def test_kind_filtering(self):
+        tracer = Tracer(kinds={EventKind.CALL})
+        assert tracer.wants(EventKind.CALL)
+        assert not tracer.wants(EventKind.RETIRE)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_cycle_to_us_mapping(self):
+        tracer = Tracer(cycle_ns=400.0)
+        tracer.call(cycles=2500, pc=0, depth=1)  # 2500 * 400ns == 1ms
+        assert tracer.events[0].ts == pytest.approx(1000.0)
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        assert not NULL_TRACER.wants(EventKind.RETIRE)
+        NULL_TRACER.retire(1, 0, "ADD", 1)
+        assert len(NULL_TRACER) == 0
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_counts(self):
+        tracer = flow_trace(3)
+        assert tracer.counts() == {"call": 3, "ret": 3, "win_overflow": 1}
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        assert registry.counter("x").value == 5
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_gauge_tracks_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+        assert gauge.max_value == 7
+
+    def test_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10, 100))
+        for value in (5, 50, 500, 7):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]  # <=10, <=100, overflow
+        assert histogram.total == 4
+        assert histogram.mean == pytest.approx(140.5)
+
+    def test_name_collision_across_types(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.histogram("h", buckets=(10,)).observe(1)
+        b.histogram("h", buckets=(10,)).observe(100)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.histogram("h", buckets=(10,)).counts == [1, 1]
+        assert a.gauge("g").max_value == 9
+
+    def test_record_machine_run(self):
+        from repro.cc.driver import run_compiled
+
+        compiled = compile_program("int main() { putint(1); return 0; }")
+        result = run_compiled(compiled, max_steps=100_000)
+        registry = MetricsRegistry()
+        record_machine_run(registry, result)
+        record_machine_run(registry, result)
+        assert registry.counter("risc1.runs").value == 2
+        assert registry.counter("risc1.cycles").value == 2 * result.cycles
+        assert registry.histogram("risc1.cycles_per_run").total == 2
+        assert "risc1.runs" in registry.to_dict()
+        assert "risc1.runs" in registry.render()
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = flow_trace()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(tracer.events, path)
+        assert count == len(tracer)
+        events = read_jsonl(path)
+        assert [e.kind for e in events] == [e.kind for e in tracer.events]
+        assert events[0].pc == tracer.events[0].pc
+        assert events[0].data == tracer.events[0].data
+
+    def test_read_jsonl_skips_garbage(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps(Event(EventKind.CALL, 1.0, 0x10, {"depth": 1}).to_dict())
+        path.write_text(f"{good}\nnot json\n{good}\n", encoding="utf-8")
+        assert len(read_jsonl(path)) == 2
+
+    def test_chrome_structure(self):
+        document = to_chrome(flow_trace().events)
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        phases = [record["ph"] for record in document["traceEvents"]]
+        assert phases.count("B") == phases.count("E") == 6  # balanced slices
+        json.dumps(document)  # must be plain-JSON serializable
+
+    def test_chrome_repairs_truncated_stacks(self):
+        # a ring that evicted the opening CALLs: RETs with no matching B
+        tracer = Tracer(kinds=FLOW_KINDS)
+        tracer.ret(cycles=10, pc=0x10, depth=1)
+        tracer.ret(cycles=20, pc=0x20, depth=0)
+        document = to_chrome(tracer.events)
+        phases = [record["ph"] for record in document["traceEvents"]]
+        assert phases.count("B") == phases.count("E")
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(flow_trace().events, path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["traceEvents"]
+
+
+class TestProfilingSpan:
+    def test_span_records_phase(self):
+        tracer = Tracer()
+        with span(tracer, "cc.parse", target="risc1"):
+            pass
+        event = tracer.events[-1]
+        assert event.kind is EventKind.PHASE
+        assert event.data["name"] == "cc.parse"
+        assert event.data["target"] == "risc1"
+        assert event.data["dur"] >= 0
+
+    def test_span_noop_without_tracer(self):
+        with span(None, "cc.parse"):
+            pass  # must simply not raise
+
+    def test_span_respects_kind_filter(self):
+        tracer = Tracer(kinds=FLOW_KINDS)  # PHASE not wanted
+        with span(tracer, "cc.parse"):
+            pass
+        assert len(tracer) == 0
+
+    def test_compiler_emits_phases(self):
+        tracer = Tracer()
+        compile_program("int main() { return 0; }", target="risc1", tracer=tracer)
+        names = [e.data["name"] for e in tracer.events if e.kind is EventKind.PHASE]
+        for expected in ("cc.parse", "cc.sema", "cc.irgen", "asm.assemble"):
+            assert expected in names
+
+
+class TestObsCli:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(flow_trace().events, path)
+        return path
+
+    def test_view(self, trace_path, capsys):
+        assert obs_main(["view", str(trace_path), "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "call" in out
+        assert "more; raise --limit" in out
+
+    def test_view_kind_filter(self, trace_path, capsys):
+        assert obs_main(["view", str(trace_path), "--kind", "win_overflow"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 1
+
+    def test_summarize_json(self, trace_path, capsys):
+        assert obs_main(["summarize", str(trace_path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] == 13
+        assert summary["by_kind"]["call"] == 6
+        assert summary["max_depth_seen"] == 6
+        assert summary["windows_spilled"] == 1
+
+    def test_convert(self, trace_path, tmp_path, capsys):
+        output = tmp_path / "chrome.json"
+        assert obs_main(["convert", str(trace_path), str(output)]) == 0
+        assert json.loads(output.read_text(encoding="utf-8"))["traceEvents"]
+
+    def test_missing_trace(self, tmp_path):
+        assert obs_main(["summarize", str(tmp_path / "missing.jsonl")]) == 1
