@@ -1,0 +1,62 @@
+"""Benchmark harness for the source-level profiler's cost.
+
+Runs quicksort on both simulated machines with profiling off and on and
+emits ``BENCH_profile.json``.  Two numbers matter:
+
+* the **off** path must stay within noise of the no-tracer baseline
+  (same cached-boolean fast path PR 2's BENCH_obs harness guards); and
+* the **on** path shows what a streaming :class:`ProfilingTracer` costs —
+  it folds every retire/call/ret into histograms with no Event
+  allocation, so it should beat full ring-buffer tracing.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.cc.driver import compile_program, run_compiled
+from repro.farm.jobs import workload_source
+from repro.obs.profile import ProfileBuilder, ProfilingTracer
+from repro.obs.symbols import Symbolizer
+
+WORKLOAD = "qsort"
+REPEATS = 3
+
+
+def _steps_per_s(compiled, make_tracer):
+    best = 0.0
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = run_compiled(compiled, max_steps=500_000_000, tracer=make_tracer())
+        elapsed = time.perf_counter() - started
+        assert result.exit_code == 0
+        best = max(best, result.instructions / elapsed)
+    return best
+
+
+def test_profile_overhead(scale, capsys):
+    results = {"workload": WORKLOAD, "scale": scale, "repeats": REPEATS}
+    for target in ("risc1", "cisc"):
+        compiled = compile_program(
+            workload_source(WORKLOAD, scale), target=target, filename=f"{WORKLOAD}.c"
+        )
+        symbolizer = Symbolizer(compiled.program)
+        off = _steps_per_s(compiled, lambda: None)
+        on = _steps_per_s(
+            compiled, lambda: ProfilingTracer(ProfileBuilder(symbolizer))
+        )
+        results[target] = {
+            "profiling_off_steps_per_s": round(off),
+            "profiling_on_steps_per_s": round(on),
+            "profiling_overhead_pct": round((off - on) / off * 100.0, 2),
+        }
+
+    pathlib.Path("BENCH_profile.json").write_text(json.dumps(results, indent=2) + "\n")
+    with capsys.disabled():
+        print("\n" + json.dumps(results, indent=2))
+
+    # profiling must actually profile, and the off path must not regress:
+    # both targets keep a sane ratio (generous bound — CI machines are noisy)
+    for target in ("risc1", "cisc"):
+        assert results[target]["profiling_on_steps_per_s"] > 0
+        assert results[target]["profiling_overhead_pct"] < 95.0, results

@@ -70,6 +70,12 @@ _REG_RE = re.compile(r"^r(\d{1,2})$", re.IGNORECASE)
 _MEM_RE = re.compile(r"^(?P<off>[^()]*)\(\s*(?P<reg>r\d{1,2})\s*\)$", re.IGNORECASE)
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
 _NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+#: Profiler markers, extracted from the *comment* region of a line (so a
+#: ``;@`` inside a string literal can never match): ``;@42`` stamps the
+#: instruction with source line 42; ``;@fn name`` on a label line marks a
+#: function entry.
+_LINE_MARKER_RE = re.compile(r";@(\d+)")
+_FN_MARKER_RE = re.compile(r";@fn\s+(\S+)")
 _EXPR_RE = re.compile(
     r"^(?P<sym>[A-Za-z_.$][\w.$]*)?\s*(?:(?P<op>[+-])\s*(?P<num>\w+))?$"
 )
@@ -95,6 +101,9 @@ class _Item:
     section: str
     offset: int = 0
     size: int = 0
+    #: enclosing function and high-level source line (profiler line table)
+    func: str = ""
+    src_line: int = 0
 
 
 class Assembler:
@@ -118,7 +127,7 @@ class Assembler:
         for name, (section, offset) in self._sym_sections.items():
             self.symbols[name] = bases[section] + offset
         self.symbols.update(self.equates)
-        code, data, source_map = self._pass2(bases)
+        code, data, source_map, line_table = self._pass2(bases)
         segments = [Segment(self.code_base, bytes(code), name="code")]
         if data:
             segments.append(Segment(data_base, bytes(data), name="data"))
@@ -130,6 +139,7 @@ class Assembler:
             entry=entry,
             symbols=dict(self.symbols),
             source_map=source_map,
+            line_table=line_table,
         )
 
     def _section_size(self, section: str) -> int:
@@ -146,13 +156,26 @@ class Assembler:
     def _pass1(self, source: str) -> None:
         section = "text"
         offsets = {"text": 0, "data": 0}
+        # When the source carries explicit ;@fn markers (compiler output),
+        # they alone decide function boundaries; otherwise fall back to
+        # treating every non-local .text label as a function entry.
+        fn_markers = ";@fn" in source
+        cur_func = ""
         for lineno, raw in enumerate(source.splitlines(), start=1):
-            line = _strip_comment(raw).strip()
+            stripped = _strip_comment(raw)
+            comment = raw[len(stripped) :]
+            line = stripped.strip()
+            fn = _FN_MARKER_RE.search(comment)
+            if fn:
+                cur_func = fn.group(1)
             while True:
                 match = _LABEL_RE.match(line)
                 if not match:
                     break
-                self._define_label(match.group(1), section, offsets[section], lineno)
+                name = match.group(1)
+                self._define_label(name, section, offsets[section], lineno)
+                if not fn_markers and section == "text" and not name.startswith("."):
+                    cur_func = name
                 line = line[match.end() :].strip()
             if not line:
                 continue
@@ -166,6 +189,7 @@ class Assembler:
                 )
                 offsets[section] += grew
                 continue
+            src = _LINE_MARKER_RE.search(comment)
             item = _Item(
                 kind="inst",
                 mnemonic=mnemonic,
@@ -174,6 +198,8 @@ class Assembler:
                 source=line,
                 section=section,
                 offset=offsets[section],
+                func=cur_func,
+                src_line=int(src.group(1)) if src else 0,
             )
             if section != "text":
                 raise AssemblerError("instructions only allowed in .text", lineno)
@@ -274,23 +300,27 @@ class Assembler:
 
     # -- pass 2: emit -------------------------------------------------------------
 
-    def _pass2(self, bases: dict[str, int]) -> tuple[bytearray, bytearray, dict[int, str]]:
+    def _pass2(
+        self, bases: dict[str, int]
+    ) -> tuple[bytearray, bytearray, dict[int, str], dict[int, tuple[str, int]]]:
         code = bytearray()
         data = bytearray()
         source_map: dict[int, str] = {}
+        line_table: dict[int, tuple[str, int]] = {}
         for item in self._items:
             if item.kind == "data":
                 self._emit_data(item, data)
                 continue
             address = bases["text"] + item.offset
             source_map[address] = f"{item.line}: {item.source}"
+            line_table[address] = (item.func, item.src_line)
             words = self._emit_instruction(item, address)
             expected = item.size // 4
             if len(words) != expected:
                 words = _pad_words(words, expected, item)
             for word in words:
                 code.extend(word.to_bytes(4, "big"))
-        return code, data, source_map
+        return code, data, source_map, line_table
 
     def _emit_data(self, item: _Item, out: bytearray) -> None:
         if len(out) != item.offset:

@@ -42,6 +42,10 @@ _AUTOINC_RE = re.compile(rf"^\(({_REG_TEXT})\)\+$", re.IGNORECASE)
 _AUTODEC_RE = re.compile(rf"^-\(({_REG_TEXT})\)$", re.IGNORECASE)
 _NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
 _SYM_OFFSET_RE = re.compile(r"^(?P<sym>[A-Za-z_.$][\w.$]*)\s*(?P<op>[+-])\s*(?P<num>\w+)$")
+#: Profiler markers — same scheme as the RISC assembler: ``;@42`` stamps a
+#: source line, ``;@fn name`` marks a function-entry label.
+_LINE_MARKER_RE = re.compile(r";@(\d+)")
+_FN_MARKER_RE = re.compile(r";@fn\s+(\S+)")
 
 
 def _reg_lookup(name: str, line: int) -> int:
@@ -153,6 +157,9 @@ class _Item:
     section: str
     offset: int = 0
     size: int = 0
+    #: enclosing function and high-level source line (profiler line table)
+    func: str = ""
+    src_line: int = 0
 
 
 class VaxAssembler:
@@ -175,22 +182,33 @@ class VaxAssembler:
         for name, (section, offset) in self._sym_sections.items():
             self.symbols[name] = bases[section] + offset
         self.symbols.update(self.equates)
-        code, data = self._pass2(bases)
+        code, data, line_table = self._pass2(bases)
         segments = [Segment(self.code_base, bytes(code), name="code")]
         if data:
             segments.append(Segment(data_base, bytes(data), name="data"))
         entry = self.symbols.get("__start", self.symbols.get("main"))
         if entry is None:
             raise VaxAssemblerError("no entry point: define __start or main")
-        return Program(tuple(segments), entry, dict(self.symbols))
+        return Program(
+            tuple(segments), entry, dict(self.symbols), line_table=line_table
+        )
 
     # -- pass 1 -----------------------------------------------------------------
 
     def _pass1(self, source: str) -> None:
         section = "text"
         offsets = {"text": 0, "data": 0}
+        # ;@fn markers (compiler output) decide function boundaries when
+        # present; otherwise every non-local .text label opens a function.
+        fn_markers = ";@fn" in source
+        cur_func = ""
         for lineno, raw in enumerate(source.splitlines(), start=1):
-            line = _strip_comment(raw).strip()
+            stripped = _strip_comment(raw)
+            comment = raw[len(stripped) :]
+            line = stripped.strip()
+            fn = _FN_MARKER_RE.search(comment)
+            if fn:
+                cur_func = fn.group(1)
             while True:
                 match = _LABEL_RE.match(line)
                 if not match:
@@ -199,6 +217,8 @@ class VaxAssembler:
                 if name in self._sym_sections:
                     raise VaxAssemblerError(f"duplicate label {name!r}", lineno)
                 self._sym_sections[name] = (section, offsets[section])
+                if not fn_markers and section == "text" and not name.startswith("."):
+                    cur_func = name
                 line = line[match.end() :].strip()
             if not line:
                 continue
@@ -218,6 +238,10 @@ class VaxAssembler:
                 continue
             item = _Item("inst" if not mnemonic.startswith(".") else "data",
                          mnemonic, operands, lineno, line, section, offsets[section])
+            if section == "text":
+                src = _LINE_MARKER_RE.search(comment)
+                item.func = cur_func
+                item.src_line = int(src.group(1)) if src else 0
             item.size = self._sizeof(item, offsets[section])
             offsets[section] += item.size
             self._items.append(item)
@@ -258,13 +282,18 @@ class VaxAssembler:
 
     # -- pass 2 -----------------------------------------------------------------
 
-    def _pass2(self, bases: dict[str, int]) -> tuple[bytearray, bytearray]:
+    def _pass2(
+        self, bases: dict[str, int]
+    ) -> tuple[bytearray, bytearray, dict[int, tuple[str, int]]]:
         code = bytearray()
         data = bytearray()
+        line_table: dict[int, tuple[str, int]] = {}
         for item in self._items:
             out = code if item.section == "text" else data
             if len(out) != item.offset:
                 out.extend(b"\0" * (item.offset - len(out)))
+            if item.section == "text":
+                line_table[bases["text"] + item.offset] = (item.func, item.src_line)
             if item.mnemonic.startswith("."):
                 self._emit_data(item, out)
             else:
@@ -275,7 +304,7 @@ class VaxAssembler:
                     f"emitted {len(out) - item.offset}",
                     item.line,
                 )
-        return code, data
+        return code, data, line_table
 
     def _resolve(self, symbol: str, line: int) -> int:
         if symbol not in self.symbols:

@@ -585,7 +585,7 @@ class VaxCPU:
         nargs = self._read(ops[0], 4)
         target = self._address(ops[1])
         if self._trace_flow:
-            self.tracer.call(self.stats.cycles, self.pc, self._depth + 1)
+            self.tracer.call(self.stats.cycles, self.pc, self._depth + 1, target)
         refs_before = self.stats.data_references
         mask = self.memory.read(target, 2)
         self.stats.data_reads += 1

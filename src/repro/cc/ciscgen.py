@@ -37,7 +37,7 @@ _BINOP3 = {"+": "addl3", "&": "andl3", "|": "bisl3", "^": "xorl3", "*": "mull3"}
 _REL_BRANCH = {"==": "beql", "!=": "bneq", "<": "blss", "<=": "bleq", ">": "bgtr", ">=": "bgeq"}
 _REL_INVERSE = {"==": "bneq", "!=": "beql", "<": "bgeq", "<=": "bgtr", ">": "bleq", ">=": "blss"}
 
-PUTS_RUNTIME = """__puts:
+PUTS_RUNTIME = """__puts:\t;@fn __puts
     .entry 0x000C
     movl 4(ap), r2
 __puts_loop:
@@ -60,6 +60,7 @@ class _FunctionCodegen:
         self.var_text: dict[VarInfo, str] = {}
         self._label_count = 0
         self.frame_size = 0
+        self._cur_line = func.line
         self._place_variables()
 
     # -- placement ---------------------------------------------------------
@@ -86,7 +87,10 @@ class _FunctionCodegen:
     # -- emission -------------------------------------------------------------
 
     def emit(self, text: str) -> None:
-        self.lines.append(f"    {text}")
+        if self._cur_line:
+            self.lines.append(f"    {text}\t;@{self._cur_line}")
+        else:
+            self.lines.append(f"    {text}")
 
     def emit_label(self, name: str) -> None:
         self.lines.append(f"{name}:")
@@ -134,7 +138,8 @@ class _FunctionCodegen:
         mask = 0
         for reg in set(self.alloc.registers.values()):
             mask |= 1 << reg
-        self.emit_label(self.func.name)
+        self._cur_line = self.func.line  # prologue belongs to the definition line
+        self.lines.append(f"{self.func.name}:\t;@fn {self.func.name}")
         self.emit(f".entry {mask:#06x}")
         if self.frame_size:
             self.emit(f"subl2 #{self.frame_size}, sp")
@@ -144,6 +149,9 @@ class _FunctionCodegen:
     def _gen(self, instr: ir.Instr) -> None:
         if isinstance(instr, ir.Marker):
             return  # statement markers are profiling-only
+        if isinstance(instr, ir.SrcLoc):
+            self._cur_line = instr.line
+            return
         if isinstance(instr, ir.Label):
             self.emit_label(instr.name)
         elif isinstance(instr, ir.Const):
@@ -303,7 +311,7 @@ class CiscCodegen:
     def generate(self) -> str:
         lines: list[str] = ["; generated by rcc (VAX-like CISC backend)", "    .text"]
         lines += [
-            "__start:",
+            "__start:\t;@fn __start",
             "    calls #0, main",
             f"    movl r0, {MMIO_HALT}",
         ]

@@ -35,8 +35,13 @@ _SAFE_OPS = {
     "ldl", "ldsu", "ldss", "ldbu", "ldbs",
     "stl", "sts", "stb", "ldhi", "mov",
 }
-_JUMP_RE = re.compile(r"^\s*(jmp|j[a-z]+)\s+(\S+)\s*$")
-_LABEL_RE = re.compile(r"^(\S+):\s*$")
+#: Both patterns tolerate a trailing ``;@`` *marker* comment — the code
+#: generators suffix instructions with ``;@line`` and function labels with
+#: ``;@fn name`` for the profiler's line table.  Ordinary ``; prose``
+#: comments still disqualify a line, exactly as before the markers
+#: existed, so hand-written assembly keeps its historical fill behavior.
+_JUMP_RE = re.compile(r"^\s*(jmp|j[a-z]+)\s+(\S+)\s*(?:;@.*)?$")
+_LABEL_RE = re.compile(r"^([^\s;]+):\s*(?:;@.*)?$")
 _REG_RE = re.compile(r"\br(\d{1,2})\b")
 
 
@@ -66,8 +71,8 @@ class DelayStats:
 
 
 def _mnemonic(line: str) -> str:
-    stripped = line.strip()
-    if not stripped or stripped.startswith((";", ".")) or stripped.endswith(":"):
+    stripped = line.split(";", 1)[0].strip()
+    if not stripped or stripped.startswith(".") or stripped.endswith(":"):
         return ""
     return stripped.split()[0].lower()
 
@@ -77,6 +82,12 @@ def _is_nop(line: str) -> bool:
 
 def _is_label(line: str) -> bool:
     return bool(_LABEL_RE.match(line.strip()))
+
+
+def _label_name(line: str) -> str:
+    """The label a (possibly ``;@fn``-annotated) label line defines."""
+    match = _LABEL_RE.match(line.strip())
+    return match.group(1) if match else ""
 
 
 def _regs_of(line: str) -> set[int]:
@@ -124,7 +135,7 @@ def _remove_jumps_to_next(lines: list[str], stats: DelayStats) -> list[str]:
             and i + 2 < len(lines)
             and _is_nop(lines[i + 1])
             and _is_label(lines[i + 2])
-            and lines[i + 2].strip().rstrip(":") == match.group(2)
+            and _label_name(lines[i + 2]) == match.group(2)
         ):
             stats.jumps_to_next_removed += 1
             i += 2  # drop the jump and its nop, keep the label
@@ -283,7 +294,7 @@ def _fill_from_target(out: list[str], jump_index: int) -> tuple[bool, int]:
     target = match.group(2)
     label_index = None
     for i, line in enumerate(out):
-        if _is_label(line) and line.strip().rstrip(":") == target:
+        if _label_name(line) == target:
             label_index = i
             break
     if label_index is None:
@@ -298,9 +309,9 @@ def _fill_from_target(out: list[str], jump_index: int) -> tuple[bool, int]:
     after_index = first_index + 1
     shift = 0
     if after_index < len(out) and _is_label(out[after_index]):
-        new_target = out[after_index].strip().rstrip(":")
+        new_target = _label_name(out[after_index])
     else:
-        existing = {line.strip().rstrip(":") for line in out if _is_label(line)}
+        existing = {_label_name(line) for line in out if _is_label(line)}
         new_target = f"{target}__ds"
         suffix = 0
         while new_target in existing:

@@ -35,6 +35,8 @@ class CompiledProgram:
     program: Program
     ir: IRProgram
     delay_stats: Optional[DelayStats] = None
+    #: the mini-C source text, kept so the profiler can annotate it
+    source: str = ""
 
     @property
     def code_size(self) -> int:
@@ -74,12 +76,18 @@ def compile_to_assembly(source: str, target: str = "risc1") -> str:
 
 
 def compile_program(
-    source: str, target: str = "risc1", fill_delay_slots: bool = True, tracer=None
+    source: str,
+    target: str = "risc1",
+    fill_delay_slots: bool = True,
+    tracer=None,
+    filename: str = "<source>",
 ) -> CompiledProgram:
     """Compile mini-C to a loadable program image for the chosen target.
 
     An optional ``tracer`` records each compiler phase as a timed PHASE
     event (parse, sema, irgen, codegen, delay-slot fill, assemble).
+    ``filename`` names the source in the program's line table (profiler
+    reports only; nothing is read from disk).
     """
     if target not in TARGETS:
         raise CompileError(f"unknown target {target!r}; expected one of {TARGETS}")
@@ -96,7 +104,10 @@ def compile_program(
                 asm, delay_stats = optimize(asm)
         with span(tracer, "asm.assemble", target=target):
             program = assemble(asm)
-        return CompiledProgram("risc1", asm, program, ir_program, delay_stats)
+        program = dataclasses.replace(program, source_file=filename)
+        return CompiledProgram(
+            "risc1", asm, program, ir_program, delay_stats, source=source
+        )
 
     from repro.baselines.vax.assembler import assemble_vax
     from repro.cc.ciscgen import generate_cisc_assembly
@@ -105,7 +116,8 @@ def compile_program(
         asm = generate_cisc_assembly(ir_program)
     with span(tracer, "asm.assemble", target=target):
         program = assemble_vax(asm)
-    return CompiledProgram("cisc", asm, program, ir_program, None)
+    program = dataclasses.replace(program, source_file=filename)
+    return CompiledProgram("cisc", asm, program, ir_program, None, source=source)
 
 
 def run_compiled(

@@ -169,6 +169,21 @@ class Marker(Instr):
 
 
 @dataclasses.dataclass
+class SrcLoc(Instr):
+    """Zero-cost annotation: the following instructions came from this
+    source line.
+
+    Emitted by the IR generator at every statement boundary and turned
+    into ``;@line`` comment markers by the code generators, which the
+    assemblers collect into the :class:`repro.core.program.Program` line
+    table.  Interpreters, estimators and the register allocator all skip
+    it.
+    """
+
+    line: int
+
+
+@dataclasses.dataclass
 class IRFunction:
     name: str
     instrs: list[Instr] = dataclasses.field(default_factory=list)
@@ -178,6 +193,8 @@ class IRFunction:
     #: all locals, including array/addressed ones.
     locals: list[VarInfo] = dataclasses.field(default_factory=list)
     is_leaf: bool = True
+    #: source line of the function definition (0 when unknown).
+    line: int = 0
 
 
 @dataclasses.dataclass
@@ -259,4 +276,6 @@ def _format_instr(instr: Instr) -> str:
         return f"if {_fmt(instr.a)} {instr.op} {_fmt(instr.b)} goto {instr.target}"
     if isinstance(instr, Ret):
         return f"ret {_fmt(instr.src)}" if instr.src is not None else "ret"
+    if isinstance(instr, SrcLoc):
+        return f"# line {instr.line}"
     return repr(instr)

@@ -87,6 +87,7 @@ class IRGenerator:
         self._loops: list[_LoopContext] = []
         self._string_count = 0
         self._string_labels: dict[str, str] = {}
+        self._cur_line = 0
 
     # -- plumbing --------------------------------------------------------------
 
@@ -157,8 +158,10 @@ class IRGenerator:
         info = self.info.functions[func.name]
         self._func = ir.IRFunction(func.name, params=info.params, locals=info.locals)
         self._func.is_leaf = not info.makes_calls
+        self._func.line = func.line
         self._temp_count = 0
         self._label_count = 0
+        self._cur_line = func.line
         self._gen_stmt(func.body)
         # implicit return: main returns 0, void functions just return
         instrs = self._func.instrs
@@ -171,6 +174,10 @@ class IRGenerator:
     # -- statements --------------------------------------------------------------
 
     def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        line = getattr(stmt, "line", 0)
+        if line and line != self._cur_line and not isinstance(stmt, ast.Block):
+            self._cur_line = line
+            self._emit(ir.SrcLoc(line))
         if isinstance(stmt, ast.Block):
             for sub in stmt.body:
                 self._gen_stmt(sub)

@@ -244,6 +244,8 @@ class IRInterpreter:
         if isinstance(instr, ir.Marker):
             counts[f"stmt:{instr.kind}"] += 1
             return None
+        if isinstance(instr, ir.SrcLoc):
+            return None  # line-number annotation, zero-cost
         if isinstance(instr, ir.Const):
             counts["const"] += 1
             frame.temps[instr.dst] = instr.value & WORD

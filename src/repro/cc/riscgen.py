@@ -58,6 +58,7 @@ class _FunctionCodegen:
         self.var_slot: dict[VarInfo, int] = {}
         self._label_count = 0
         self.frame_size = 0
+        self._cur_line = func.line
         self._place_variables()
 
     # -- placement --------------------------------------------------------
@@ -107,7 +108,10 @@ class _FunctionCodegen:
     # -- emission helpers ------------------------------------------------------
 
     def emit(self, text: str) -> None:
-        self.lines.append(f"    {text}")
+        if self._cur_line:
+            self.lines.append(f"    {text}\t;@{self._cur_line}")
+        else:
+            self.lines.append(f"    {text}")
 
     def emit_label(self, name: str) -> None:
         self.lines.append(f"{name}:")
@@ -181,7 +185,7 @@ class _FunctionCodegen:
 
     def generate(self) -> list[str]:
         func = self.func
-        self.emit_label(func.name)
+        self.lines.append(f"{func.name}:\t;@fn {func.name}")
         if self.frame_size:
             self.emit(f"add r1, r1, #-{self.frame_size}")
         for i, param in enumerate(func.params):
@@ -194,6 +198,9 @@ class _FunctionCodegen:
     def _gen(self, instr: ir.Instr) -> None:
         if isinstance(instr, ir.Marker):
             return  # statement markers are profiling-only
+        if isinstance(instr, ir.SrcLoc):
+            self._cur_line = instr.line
+            return
         if isinstance(instr, ir.Label):
             self.emit_label(instr.name)
         elif isinstance(instr, ir.Const):
@@ -412,7 +419,7 @@ class RiscCodegen:
 
         lines: list[str] = ["; generated by rcc (RISC I backend)", "    .text"]
         lines += [
-            "_start:",
+            "_start:\t;@fn _start",
             "    call main",
             "    nop",
             "    halt r10",

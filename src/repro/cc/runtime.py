@@ -12,7 +12,7 @@ from __future__ import annotations
 
 MUL = """
 ; __mul: r26 * r27 -> r26 (low 32 bits; sign-agnostic shift-and-add)
-__mul:
+__mul:	;@fn __mul
     add r16, r0, #0          ; product
     add r17, r26, #0         ; multiplicand
     add r18, r27, #0         ; multiplier
@@ -39,7 +39,7 @@ UDIVMOD = """
 ; __udivmod: unsigned r26 / r27 -> quotient r26, remainder r27
 ; Normalization pre-loops skip the dividend's leading zero bits (first by
 ; bytes, then by bits) so small dividends don't pay for 32 iterations.
-__udivmod:
+__udivmod:	;@fn __udivmod
     add r16, r0, #0          ; quotient
     add r17, r0, #0          ; remainder
     add r18, r0, #32         ; bit counter
@@ -85,7 +85,7 @@ __udm_done:
 
 DIV = """
 ; __div: signed r26 / r27 -> r26 (truncating toward zero)
-__div:
+__div:	;@fn __div
     xor r20, r26, r27        ; quotient sign in bit 31
     cmp r26, r0
     jge __div_apos
@@ -113,7 +113,7 @@ __div_pos:
 
 MOD = """
 ; __mod: signed r26 % r27 -> r26 (sign follows the dividend)
-__mod:
+__mod:	;@fn __mod
     add r20, r26, #0         ; remainder sign = dividend sign
     cmp r26, r0
     jge __mod_apos
@@ -141,7 +141,7 @@ __mod_pos:
 
 PUTS = """
 ; __puts: write the NUL-terminated string at r26 to the console
-__puts:
+__puts:	;@fn __puts
     add r16, r26, #0
 __puts_loop:
     ldbu r17, 0(r16)

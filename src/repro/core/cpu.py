@@ -233,7 +233,7 @@ class CPU:
         self._interrupt_request = None
         # hardware-forced CALLINT: rotate into a fresh window, save the
         # interrupted PC in the new window's r26, and disable interrupts
-        self._enter_frame(26, self.pc)
+        self._enter_frame(26, self.pc, vector)
         self.psw.interrupts_enabled = False
         self.interrupts_taken += 1
         self.pc = vector
@@ -262,7 +262,10 @@ class CPU:
             # account the halting store itself before unwinding
             self.stats.record(inst.opcode, self.timing.instruction_cycles(inst.opcode))
             if self._trace_retire:
-                self.tracer.retire(self.stats.cycles, pc, inst.opcode.name, 1)
+                self.tracer.retire(
+                    self.stats.cycles, pc, inst.opcode.name,
+                    self.timing.instruction_cycles(inst.opcode),
+                )
             raise
         except Trap as trap:
             if self._trace_trap:
@@ -431,15 +434,17 @@ class CPU:
     def _apply_window_change(self, pending: tuple) -> None:
         kind, dest, pc = pending
         if kind == "call":
-            self._enter_frame(dest, pc)
+            # the window change lands during the delay-slot step, when
+            # self.npc already holds the call's destination address
+            self._enter_frame(dest, pc, self.npc)
         else:
             self._leave_frame()
 
-    def _enter_frame(self, dest: int, pc: int) -> None:
+    def _enter_frame(self, dest: int, pc: int, target: int = 0) -> None:
         if self._trace_flow:
             # emitted before any spill so a CALL that overflows traces as
             # CALL -> WINDOW_OVERFLOW, matching the machine's causality
-            self.tracer.call(self.stats.cycles, pc, self.regs.depth + 1)
+            self.tracer.call(self.stats.cycles, pc, self.regs.depth + 1, target)
         spills = self.regs.call_advance()
         if spills:
             self._spill_windows(spills)
@@ -473,11 +478,13 @@ class CPU:
                 self._save_sp -= 4
                 self.memory.write(self._save_sp, self.regs.read_physical(slot), 4)
         self.stats.window_overflows += 1
-        if self._trace_window:
-            self.tracer.window_overflow(self.stats.cycles, len(windows), self.regs.depth)
         registers = self.timing.window_registers * len(windows)
-        self.stats.spilled_registers += registers
         cycles = self.timing.trap_entry_cycles + registers * self.timing.memory_op_cycles
+        if self._trace_window:
+            self.tracer.window_overflow(
+                self.stats.cycles, len(windows), self.regs.depth, cycles
+            )
+        self.stats.spilled_registers += registers
         self.stats.cycles += cycles
         self.stats.overflow_cycles += cycles
 
@@ -488,14 +495,16 @@ class CPU:
         self.regs.note_fill()
         self.stats.window_underflows += 1
         if self._trace_window:
-            self.tracer.window_underflow(self.stats.cycles, self.regs.depth)
+            self.tracer.window_underflow(
+                self.stats.cycles, self.regs.depth, self.timing.underflow_handler_cycles
+            )
         self.stats.filled_registers += self.timing.window_registers
         self.stats.cycles += self.timing.underflow_handler_cycles
         self.stats.overflow_cycles += self.timing.underflow_handler_cycles
 
     def _callint(self, inst: Instruction, pc: int) -> None:
         self.psw.interrupts_enabled = False
-        self._enter_frame(inst.dest, self._last_pc)
+        self._enter_frame(inst.dest, self._last_pc, self.npc)
 
     def _retint(self, inst: Instruction, pc: int) -> int:
         self.psw.interrupts_enabled = True

@@ -36,6 +36,14 @@ class Program:
     symbols: dict[str, int] = dataclasses.field(default_factory=dict)
     #: address -> source line, for diagnostics.
     source_map: dict[int, str] = dataclasses.field(default_factory=dict)
+    #: instruction start address -> (function, source line) — the profiler's
+    #: line table.  Keys are the first address of each instruction; a PC is
+    #: resolved by floor lookup, so multi-word pseudos and variable-length
+    #: CISC instructions need no per-byte entries.  Line 0 means "no
+    #: high-level source line" (hand-written or runtime assembly).
+    line_table: dict[int, tuple[str, int]] = dataclasses.field(default_factory=dict)
+    #: name of the high-level source file the line table refers to.
+    source_file: str = ""
 
     @property
     def code_size(self) -> int:

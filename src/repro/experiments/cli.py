@@ -28,8 +28,8 @@ EXPERIMENTS = {
 }
 
 
-def _write_trace(path: str) -> None:
-    """Record an instrumented Hanoi(18) run and export a Chrome trace.
+def _write_trace(path: str, spec: str) -> None:
+    """Record an instrumented workload run and export a Chrome trace.
 
     Compiler phases land on the toolchain track (wall-clock), the call /
     return / window-traffic timeline of the RISC I run lands on the
@@ -40,13 +40,17 @@ def _write_trace(path: str) -> None:
     from repro.core.cpu import CPU
     from repro.experiments.common import RISC_CYCLE_NS
     from repro.obs import FLOW_KINDS, EventKind, Tracer, write_chrome_trace
-    from repro.workloads import ALL_WORKLOADS
+    from repro.workloads import ALL_WORKLOADS, parse_workload_spec
 
+    name, overrides = parse_workload_spec(spec)
     # The compiler gets its own small tracer: a long run overflows the
     # machine tracer's ring and would evict the handful of PHASE events.
     cc_tracer = Tracer(kinds={EventKind.PHASE})
     program = compile_program(
-        ALL_WORKLOADS["towers"].source(DISKS=18), target="risc1", tracer=cc_tracer
+        ALL_WORKLOADS[name].source(**overrides),
+        target="risc1",
+        tracer=cc_tracer,
+        filename=f"{name}.c",
     )
     tracer = Tracer(capacity=1 << 18, kinds=FLOW_KINDS, cycle_ns=RISC_CYCLE_NS)
     cpu = CPU(tracer=tracer)
@@ -54,10 +58,41 @@ def _write_trace(path: str) -> None:
     result = cpu.run(max_steps=500_000_000)
     write_chrome_trace(list(cc_tracer.events) + list(tracer.events), path)
     print(
-        f"[trace: hanoi(18) on risc1 — {result.cycles} cycles, "
+        f"[trace: {spec} on risc1 — {result.cycles} cycles, "
         f"{len(tracer.events)} events kept ({tracer.dropped} dropped) -> {path}]",
         file=sys.stderr,
     )
+
+
+def _write_profiles(directory: str, spec: str) -> None:
+    """Profile one workload on both machines; write the four report forms.
+
+    Produces ``<name>.<target>.folded`` (collapsed stacks for flamegraph
+    tooling) plus ``.report`` / ``.annotate`` / ``.callgraph`` text files
+    per target under ``directory``.
+    """
+    from pathlib import Path
+
+    from repro.experiments.common import profiled
+
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    for target in ("risc1", "cisc"):
+        profile, result = profiled(spec, target)
+        stem = spec.replace(":", "_").replace(",", "_").replace("=", "")
+        for suffix, text in (
+            ("folded", profile.collapsed()),
+            ("report", profile.report()),
+            ("annotate", profile.annotate()),
+            ("callgraph", profile.callgraph_text()),
+        ):
+            (out / f"{stem}.{target}.{suffix}").write_text(text, encoding="utf-8")
+        print(
+            f"[profile: {spec} on {target} — {result.cycles} cycles, "
+            f"{profile.attributed_fraction:.1%} attributed -> "
+            f"{out / f'{stem}.{target}.*'}]",
+            file=sys.stderr,
+        )
 
 
 def _prewarm(scale: str, jobs: int) -> None:
@@ -107,7 +142,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace",
         metavar="PATH",
-        help="also record an instrumented hanoi(18) run as a Chrome trace at PATH",
+        help="also record an instrumented workload run as a Chrome trace at PATH",
+    )
+    parser.add_argument(
+        "--trace-workload",
+        metavar="NAME[:ARG]",
+        default="towers:18",
+        help="workload for --trace (default: towers:18, the paper's hanoi run)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        help="profile --trace-workload on both machines; write flamegraph, "
+        "report, annotated source and call graph under DIR",
     )
     parser.add_argument(
         "--metrics",
@@ -127,6 +174,14 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)} "
             f"(choose from {', '.join(EXPERIMENTS)}; see --list)"
         )
+
+    if args.trace or args.profile:
+        from repro.workloads import parse_workload_spec
+
+        try:
+            parse_workload_spec(args.trace_workload)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.jobs > 1:
         _prewarm(args.scale, args.jobs)
@@ -165,7 +220,9 @@ def main(argv: list[str] | None = None) -> int:
     if registry is not None:
         print(registry.render(), file=sys.stderr)
     if args.trace:
-        _write_trace(args.trace)
+        _write_trace(args.trace, args.trace_workload)
+    if args.profile:
+        _write_profiles(args.profile, args.trace_workload)
     return 0
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "executed",
     "ir_profile",
     "metrics_registry",
+    "profiled",
     "risc_ms",
     "traced_run",
     "workload_source",
@@ -79,6 +80,24 @@ def executed(name: str, target: str, scale: str = "default"):
 def ir_profile(name: str, scale: str = "default") -> IRResult:
     """Dynamic IR profile of a workload (verified against the oracle)."""
     return farm_runner.ir_profile(name, scale)
+
+
+@functools.lru_cache(maxsize=None)
+def profiled(spec: str, target: str = "risc1"):
+    """Profile a ``NAME[:ARG]`` workload spec on one machine.
+
+    Returns ``(profile, run_result)``.  Not farm-cached: the profile is
+    built streaming off the live run, and one L1 entry per (spec, target)
+    keeps repeated report forms free within a process.
+    """
+    from repro.cc.driver import compile_program
+    from repro.obs.profile import profile_run
+    from repro.workloads import ALL_WORKLOADS, parse_workload_spec
+
+    name, overrides = parse_workload_spec(spec)
+    source = ALL_WORKLOADS[name].source(**overrides)
+    compiled_program = compile_program(source, target=target, filename=f"{name}.c")
+    return profile_run(compiled_program, max_steps=500_000_000, workload=spec)
 
 
 @functools.lru_cache(maxsize=None)

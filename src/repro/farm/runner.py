@@ -87,7 +87,11 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
                 except Exception:
                     cache.stats.hits -= 1
                     cache.discard_corrupt(cache.path_for(job.key, "pkl"))
-        value = compile_program(workload_source(job.workload, job.scale), target=job.target)
+        value = compile_program(
+            workload_source(job.workload, job.scale),
+            target=job.target,
+            filename=f"{job.workload}.c",
+        )
         if cache is not None:
             cache.store_blob(job.key, "pkl", value.to_blob())
         return value, False

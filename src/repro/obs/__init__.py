@@ -13,10 +13,16 @@ Three pieces, one import:
   for Perfetto / ``chrome://tracing``; ``python -m repro.obs`` views and
   summarizes saved traces.
 
+Plus the source-level profiler built on all three: :class:`Symbolizer`
+resolves PCs through the toolchain's line tables, :class:`ProfileBuilder`
+/ :class:`ProfilingTracer` fold machine events into cycle-conserving
+flamegraphs, call graphs and per-C-line annotation, and
+``python -m repro.obs profile`` reports them.
+
 See ``docs/OBSERVABILITY.md`` for the event schema and overhead numbers.
 """
 
-from repro.obs.events import FLOW_KINDS, SIM_KINDS, Event, EventKind
+from repro.obs.events import FLOW_KINDS, PROFILE_KINDS, SIM_KINDS, Event, EventKind
 from repro.obs.exporters import read_jsonl, to_chrome, write_chrome_trace, write_jsonl
 from repro.obs.metrics import (
     DEFAULT_CYCLE_BUCKETS,
@@ -26,7 +32,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     record_machine_run,
 )
+from repro.obs.profile import (
+    Profile,
+    ProfileBuilder,
+    ProfilingTracer,
+    profile_events,
+    profile_run,
+)
 from repro.obs.profiling import span
+from repro.obs.symbols import Symbolizer
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -40,8 +54,15 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILE_KINDS",
+    "Profile",
+    "ProfileBuilder",
+    "ProfilingTracer",
     "SIM_KINDS",
+    "Symbolizer",
     "Tracer",
+    "profile_events",
+    "profile_run",
     "read_jsonl",
     "record_machine_run",
     "span",

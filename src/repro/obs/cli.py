@@ -5,6 +5,9 @@ Subcommands::
     view       print a JSONL trace, one event per line
     summarize  per-kind counts, time span, call/window statistics
     convert    JSONL trace -> Chrome trace_event JSON (for Perfetto)
+    profile    run a workload under the profiler and print hotspots,
+               a collapsed-stack flamegraph, annotated C source or the
+               call graph
 """
 
 from __future__ import annotations
@@ -12,20 +15,50 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.obs.events import EventKind
-from repro.obs.exporters import read_jsonl, write_chrome_trace
+from repro.obs.exporters import scan_jsonl, write_chrome_trace
 
 
 def _load(path: str):
-    events = read_jsonl(path)
+    """Read a trace for a CLI command; returns None (after a clear
+    diagnostic on stderr) for missing, empty, binary or non-JSONL input
+    instead of tracebacking or silently processing nothing."""
+    if not Path(path).is_file():
+        print(f"error: {path}: no such trace file", file=sys.stderr)
+        return None
+    try:
+        events, skipped = scan_jsonl(path)
+    except UnicodeDecodeError:
+        print(f"error: {path}: binary data — not a JSONL trace", file=sys.stderr)
+        return None
+    except OSError as exc:
+        print(f"error: {path}: {exc.strerror or exc}", file=sys.stderr)
+        return None
     if not events:
-        print(f"{path}: no parseable events", file=sys.stderr)
+        if skipped:
+            print(
+                f"error: {path}: no parseable events "
+                f"({skipped} unrecognized line(s) — not a JSONL trace?)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"error: {path}: empty trace (no events recorded)", file=sys.stderr)
+        return None
+    if skipped:
+        print(
+            f"warning: {path}: skipped {skipped} malformed line(s) "
+            "(truncated or interleaved write?)",
+            file=sys.stderr,
+        )
     return events
 
 
 def _cmd_view(args) -> int:
     events = _load(args.trace)
+    if events is None:
+        return 1
     kinds = {EventKind(k) for k in args.kind} if args.kind else None
     shown = 0
     for event in events:
@@ -43,7 +76,7 @@ def _cmd_view(args) -> int:
 
 def _cmd_summarize(args) -> int:
     events = _load(args.trace)
-    if not events:
+    if events is None:
         return 1
     counts: dict[str, int] = {}
     max_depth = 0
@@ -78,10 +111,43 @@ def _cmd_summarize(args) -> int:
 
 def _cmd_convert(args) -> int:
     events = _load(args.trace)
-    if not events:
+    if events is None:
         return 1
     records = write_chrome_trace(events, args.output)
     print(f"wrote {records} trace records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    # imports deferred: the trace subcommands must not pay for the
+    # compiler/simulator import graph
+    from repro.cc.driver import compile_program
+    from repro.obs.profile import profile_run
+    from repro.workloads import ALL_WORKLOADS, parse_workload_spec
+
+    try:
+        name, overrides = parse_workload_spec(args.workload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    source = ALL_WORKLOADS[name].source(**overrides)
+    compiled = compile_program(source, target=args.target, filename=f"{name}.c")
+    profile, _result = profile_run(compiled, workload=args.workload)
+    if args.what == "report":
+        text = profile.report(top=args.top)
+    elif args.what == "flame":
+        text = profile.collapsed()
+    elif args.what == "annotate":
+        text = profile.annotate()
+    else:
+        text = profile.callgraph_text(top=args.top)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote {args.what} for {args.workload} ({args.target}) to {path}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -111,6 +177,25 @@ def main(argv: list[str] | None = None) -> int:
     convert.add_argument("trace", help="path to a .jsonl trace")
     convert.add_argument("output", help="output .json path (load in Perfetto)")
     convert.set_defaults(func=_cmd_convert)
+
+    profile = sub.add_parser(
+        "profile", help="run a workload under the source-level profiler"
+    )
+    profile.add_argument(
+        "what",
+        choices=("report", "flame", "annotate", "callgraph"),
+        help="flat profile, collapsed-stack flamegraph, annotated C source, or call graph",
+    )
+    profile.add_argument(
+        "--workload",
+        required=True,
+        metavar="NAME[:ARG]",
+        help="workload spec, e.g. towers:10 or bit_matrix_k:N=8,REPS=1",
+    )
+    profile.add_argument("--target", choices=("risc1", "cisc"), default="risc1")
+    profile.add_argument("--top", type=int, default=20, help="rows to show (report/callgraph)")
+    profile.add_argument("-o", "--output", help="write to a file instead of stdout")
+    profile.set_defaults(func=_cmd_profile)
 
     args = parser.parse_args(argv)
     return args.func(args)

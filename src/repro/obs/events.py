@@ -69,6 +69,12 @@ FLOW_KINDS = frozenset(
     }
 )
 
+#: What the source-level profiler consumes: every retired instruction for
+#: the cycle histograms, plus the flow kinds for call-stack reconstruction.
+#: MEM_REF is deliberately absent — it is the one high-volume kind the
+#: profiler does not need.
+PROFILE_KINDS = frozenset(FLOW_KINDS | {EventKind.RETIRE})
+
 
 @dataclasses.dataclass(slots=True)
 class Event:

@@ -66,17 +66,34 @@ def read_jsonl(path: str | Path) -> list[Event]:
     path = Path(path)
     if not path.is_file():
         return []
+    try:
+        return scan_jsonl(path)[0]
+    except (OSError, UnicodeDecodeError):
+        return []
+
+
+def scan_jsonl(path: str | Path) -> tuple[list[Event], int]:
+    """Read a JSONL trace, reporting damage instead of hiding it.
+
+    Returns ``(events, skipped)`` where ``skipped`` counts non-empty lines
+    that did not parse as events (a truncated final line from an
+    interrupted write, or a file that is not a JSONL trace at all).
+    Raises :class:`FileNotFoundError` for a missing file and
+    :class:`UnicodeDecodeError` for binary content — callers that want
+    the forgiving behavior use :func:`read_jsonl`.
+    """
+    text = Path(path).read_text(encoding="utf-8")
     events: list[Event] = []
-    for line in path.read_text(encoding="utf-8").splitlines():
+    skipped = 0
+    for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
         try:
-            payload = json.loads(line)
-            events.append(Event.from_dict(payload))
-        except (ValueError, KeyError):
-            continue
-    return events
+            events.append(Event.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError):
+            skipped += 1
+    return events, skipped
 
 
 # -- Chrome trace_event -----------------------------------------------------
@@ -87,6 +104,9 @@ def to_chrome(events: Iterable[Event]) -> dict:
     trace: list[dict] = []
     call_stack: list[dict] = []
     last_ts = 0.0
+    windows_spilled = 0
+    windows_filled = 0
+    handler_cycles = 0
 
     def add(record: dict) -> None:
         trace.append(record)
@@ -151,6 +171,17 @@ def to_chrome(events: Iterable[Event]) -> dict:
                     "args": dict(data),
                 }
             )
+            # window-pressure counter track: cumulative spill/fill traffic
+            # and handler cycles, so Perfetto shows *where in the run* the
+            # register file stopped absorbing the call depth
+            if event.kind is EventKind.WINDOW_OVERFLOW:
+                windows_spilled += data.get("windows", 1)
+                handler_cycles += data.get("cost", 0)
+            elif event.kind is EventKind.WINDOW_UNDERFLOW:
+                windows_filled += 1
+                handler_cycles += data.get("cost", 0)
+            if event.kind is not EventKind.TRAP:
+                add(_window_counter(ts, windows_spilled, windows_filled, handler_cycles))
         elif event.kind is EventKind.MEM_REF:
             add(
                 {
@@ -206,6 +237,17 @@ def to_chrome(events: Iterable[Event]) -> dict:
         add({"ph": "E", "pid": PID_MACHINE, "tid": 1, "ts": last_ts})
 
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def _window_counter(ts: float, spilled: int, filled: int, cycles: int) -> dict:
+    return {
+        "ph": "C",
+        "pid": PID_MACHINE,
+        "tid": 4,
+        "ts": ts,
+        "name": "window pressure",
+        "args": {"spilled": spilled, "filled": filled, "handler cycles": cycles},
+    }
 
 
 def _depth_counter(ts: float, depth: int) -> dict:

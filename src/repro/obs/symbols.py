@@ -1,0 +1,120 @@
+"""PC symbolization: from raw program counters to names and source lines.
+
+The assemblers already know everything this module needs — they publish a
+symbol table (label -> address) and, since the toolchain started stamping
+``;@line`` / ``;@fn`` markers on generated assembly, a *line table*
+mapping each instruction's start address to ``(function, C line)``.  A
+:class:`Symbolizer` wraps one :class:`~repro.core.program.Program` and
+answers three questions:
+
+* :meth:`function_at` — which function does this PC belong to?
+* :meth:`location_at` — which C source line produced this PC (0 if none,
+  e.g. hand-written runtime assembly)?
+* :meth:`name_for_target` — what is the callee name for a CALL's target
+  address?  (Exact match against the line table's function starts and the
+  symbol table; call targets land on label addresses, so no floor search
+  is needed — but one is done anyway as a fallback for targets that land
+  past an entry-mask word or a scheduling quirk.)
+
+Lookups are floor searches over a sorted address array (``bisect``), so a
+symbolizer is cheap enough to call once per retired instruction.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.program import Program
+
+#: The name reported for a PC no table covers.
+UNKNOWN = "<unknown>"
+
+
+class Symbolizer:
+    """Resolves PCs against one loaded :class:`Program`.
+
+    A PC resolves through the line table first (floor lookup: the entry
+    at the greatest address <= pc, provided the pc is still inside the
+    code segment), then through non-generated code labels as a coarser
+    fallback, then to :data:`UNKNOWN`.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._code_lo = 0
+        self._code_hi = 0
+        for segment in program.segments:
+            if segment.name == "code":
+                self._code_lo, self._code_hi = segment.base, segment.end
+                break
+        # line table, sorted for floor lookup
+        self._addrs = sorted(program.line_table)
+        self._entries = [program.line_table[a] for a in self._addrs]
+        # label fallback: code-segment, non-local symbols
+        self._label_addrs: list[int] = []
+        self._label_names: list[str] = []
+        for name, address in sorted(program.symbols.items(), key=lambda kv: kv[1]):
+            if name.startswith("."):
+                continue
+            if self._code_lo <= address < self._code_hi:
+                self._label_addrs.append(address)
+                self._label_names.append(name)
+        # function start addresses, for exact call-target naming
+        self._func_starts: dict[int, str] = {}
+        previous = None
+        for address, (func, _line) in zip(self._addrs, self._entries):
+            if func and func != previous:
+                self._func_starts[address] = func
+            previous = func
+
+    def _floor(self, pc: int) -> tuple[str, int] | None:
+        if not self._addrs or not (self._code_lo <= pc < self._code_hi):
+            return None
+        index = bisect.bisect_right(self._addrs, pc) - 1
+        if index < 0:
+            return None
+        return self._entries[index]
+
+    # -- queries ------------------------------------------------------------
+
+    def function_at(self, pc: int) -> str:
+        """Name of the function containing ``pc`` (:data:`UNKNOWN` if none)."""
+        if not (self._code_lo <= pc < self._code_hi):
+            return UNKNOWN
+        entry = self._floor(pc)
+        if entry is not None and entry[0]:
+            return entry[0]
+        index = bisect.bisect_right(self._label_addrs, pc) - 1
+        if index >= 0:
+            return self._label_names[index]
+        return UNKNOWN
+
+    def location_at(self, pc: int) -> tuple[str, int]:
+        """``(function, source line)`` for ``pc``; line 0 means no C line."""
+        entry = self._floor(pc)
+        if entry is not None:
+            return entry
+        return (self.function_at(pc), 0)
+
+    def name_for_target(self, target: int) -> str:
+        """Callee name for a call-target address.
+
+        Exact function-start and symbol matches first; otherwise the same
+        floor search as :meth:`function_at`.
+        """
+        name = self._func_starts.get(target)
+        if name:
+            return name
+        for sym, address in self.program.symbols.items():
+            if address == target and not sym.startswith("."):
+                return sym
+        return self.function_at(target)
+
+    def functions(self) -> list[str]:
+        """All function names the line table knows, in address order."""
+        seen: list[str] = []
+        for func, _line in self._entries:
+            if func and (not seen or seen[-1] != func):
+                if func not in seen:
+                    seen.append(func)
+        return seen

@@ -30,21 +30,23 @@ class Tracer:
     """Records typed events into a bounded ring buffer.
 
     ``capacity`` bounds memory: once full, the oldest events are evicted
-    and ``dropped`` counts them.  ``kinds`` filters at the source — a
-    producer asks ``wants(kind)`` before paying for an emit.
-    ``cycle_ns`` maps simulated cycles onto the trace's microsecond
-    timeline; set it to the traced machine's cycle period.
+    and ``dropped`` counts them.  ``capacity=None`` removes the bound —
+    only sensible for short runs or for consumers (like the profiler's
+    streaming tracer) that fold events instead of storing them.  ``kinds``
+    filters at the source — a producer asks ``wants(kind)`` before paying
+    for an emit.  ``cycle_ns`` maps simulated cycles onto the trace's
+    microsecond timeline; set it to the traced machine's cycle period.
     """
 
     enabled = True
 
     def __init__(
         self,
-        capacity: int = 1 << 16,
+        capacity: int | None = 1 << 16,
         kinds: Iterable[EventKind] | None = None,
         cycle_ns: float = 400.0,
     ):
-        if capacity <= 0:
+        if capacity is not None and capacity <= 0:
             raise ValueError("tracer capacity must be positive")
         self.events: deque[Event] = deque(maxlen=capacity)
         self.capacity = capacity
@@ -69,7 +71,7 @@ class Tracer:
 
     def emit(self, event: Event) -> None:
         events = self.events
-        if len(events) == events.maxlen:
+        if events.maxlen is not None and len(events) == events.maxlen:
             self.dropped += 1
         events.append(event)
 
@@ -93,24 +95,40 @@ class Tracer:
             Event(EventKind.MEM_REF, self._us(cycles), pc, {"addr": addr, "rw": rw, "width": width})
         )
 
-    def call(self, cycles: int, pc: int, depth: int) -> None:
-        self.emit(Event(EventKind.CALL, self._us(cycles), pc, {"depth": depth}))
+    def call(self, cycles: int, pc: int, depth: int, target: int = 0) -> None:
+        self.emit(
+            Event(
+                EventKind.CALL,
+                self._us(cycles),
+                pc,
+                {"depth": depth, "target": target},
+            )
+        )
 
     def ret(self, cycles: int, pc: int, depth: int) -> None:
         self.emit(Event(EventKind.RET, self._us(cycles), pc, {"depth": depth}))
 
-    def window_overflow(self, cycles: int, windows: int, depth: int) -> None:
+    def window_overflow(
+        self, cycles: int, windows: int, depth: int, cost: int = 0
+    ) -> None:
         self.emit(
             Event(
                 EventKind.WINDOW_OVERFLOW,
                 self._us(cycles),
                 0,
-                {"windows": windows, "depth": depth},
+                {"windows": windows, "depth": depth, "cost": cost},
             )
         )
 
-    def window_underflow(self, cycles: int, depth: int) -> None:
-        self.emit(Event(EventKind.WINDOW_UNDERFLOW, self._us(cycles), 0, {"depth": depth}))
+    def window_underflow(self, cycles: int, depth: int, cost: int = 0) -> None:
+        self.emit(
+            Event(
+                EventKind.WINDOW_UNDERFLOW,
+                self._us(cycles),
+                0,
+                {"depth": depth, "cost": cost},
+            )
+        )
 
     def trap(self, cycles: int, pc: int, kind: str, detail: str) -> None:
         self.emit(Event(EventKind.TRAP, self._us(cycles), pc, {"trap": kind, "detail": detail}))

@@ -283,3 +283,41 @@ ALL_WORKLOADS: dict[str, Workload] = {
 #: The programs used for the paper's Table-style benchmark comparisons
 #: (everything except the E7 microbenchmark).
 BENCHMARK_SUITE = [name for name in ALL_WORKLOADS if name != "call_overhead"]
+
+
+def parse_workload_spec(spec: str) -> tuple[str, dict[str, int]]:
+    """Parse a ``NAME[:ARG]`` workload spec from a CLI.
+
+    ``ARG`` is either a bare integer (allowed when the workload has
+    exactly one parameter) or ``KEY=VALUE[,KEY=VALUE...]`` naming
+    ``PARAM_*`` globals.  Returns ``(name, overrides)``.  Raises
+    :class:`ValueError` with a message suitable for ``parser.error`` on an
+    unknown workload, unknown parameter, or malformed argument.
+    """
+    name, _, arg = spec.partition(":")
+    workload = ALL_WORKLOADS.get(name)
+    if workload is None:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        raise ValueError(f"unknown workload {name!r} (choose from: {known})")
+    if not arg:
+        return name, {}
+    overrides: dict[str, int] = {}
+    params = workload.default_params
+    for part in arg.split(","):
+        key, eq, value = part.partition("=")
+        if not eq:
+            if len(params) != 1:
+                raise ValueError(
+                    f"workload {name!r} has parameters {sorted(params)}; "
+                    f"use {name}:KEY=VALUE"
+                )
+            key, value = next(iter(params)), part
+        if key not in params:
+            raise ValueError(
+                f"workload {name!r} has no parameter {key!r} (has: {sorted(params)})"
+            )
+        try:
+            overrides[key] = int(value)
+        except ValueError:
+            raise ValueError(f"workload argument {part!r}: value must be an integer") from None
+    return name, overrides

@@ -1,0 +1,348 @@
+"""Tests for the source-level profiler (repro.obs.profile / .symbols).
+
+The load-bearing invariants:
+
+* **conservation** — the flamegraph's root-to-leaf cycle totals equal the
+  run's reported total cycles exactly, on both machines (RISC I retire
+  costs plus window-handler costs; VAX retire costs alone);
+* **attribution** — at least 95% of retired cycles resolve to a named C
+  function, not ``<unknown>``, on both machines;
+* **robustness** — call-stack reconstruction survives ring-buffer
+  truncation (ret without call), traps mid-call, and recursion deeper
+  than the stack-key cap.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cc.driver import CompiledProgram, compile_program
+from repro.core.program import Program, Segment
+from repro.farm.jobs import workload_source
+from repro.obs.cli import main as obs_main
+from repro.obs.events import Event, EventKind
+from repro.obs.profile import (
+    ANON_FRAME,
+    DEEP_FRAME,
+    MAX_STACK_FRAMES,
+    OVERFLOW_FRAME,
+    UNDERFLOW_FRAME,
+    ProfileBuilder,
+    profile_events,
+    profile_run,
+)
+from repro.obs.symbols import UNKNOWN, Symbolizer
+from repro.workloads import ALL_WORKLOADS, parse_workload_spec
+
+
+def _compiled(name: str, target: str, **overrides) -> CompiledProgram:
+    source = ALL_WORKLOADS[name].source(**overrides)
+    return compile_program(source, target=target, filename=f"{name}.c")
+
+
+# -- conservation and attribution (the acceptance criteria) ------------------
+
+
+@pytest.mark.parametrize("target", ["risc1", "cisc"])
+@pytest.mark.parametrize(
+    "name,overrides",
+    [("towers", {"DISKS": 9}), ("qsort", {"N": 80}), ("ackermann", {"M": 2, "N": 3})],
+)
+def test_flamegraph_conserves_total_cycles(target, name, overrides):
+    profile, result = profile_run(_compiled(name, target, **overrides), workload=name)
+    assert profile.sampled_cycles == result.cycles
+    # and via the collapsed-stack export, the form flamegraph tools read
+    total = 0
+    for line in profile.collapsed().splitlines():
+        stack, _, cycles = line.rpartition(" ")
+        assert stack
+        total += int(cycles)
+    assert total == result.cycles
+
+
+@pytest.mark.parametrize("target", ["risc1", "cisc"])
+@pytest.mark.parametrize("name", ["towers", "qsort", "sed"])
+def test_attribution_at_least_95_percent(target, name):
+    profile, _result = profile_run(_compiled(name, target), workload=name)
+    assert profile.attributed_fraction >= 0.95, profile.func_self
+    assert UNKNOWN not in profile.func_cum or profile.func_cum[UNKNOWN] == 0
+
+
+def test_window_handler_cycles_are_separate_frames():
+    # 8 windows, towers(10) recurses to depth ~12: overflow traffic exists
+    profile, result = profile_run(_compiled("towers", "risc1", DISKS=10))
+    assert profile.window_cycles["overflow"] > 0
+    assert profile.window_cycles["underflow"] > 0
+    assert profile.func_self[OVERFLOW_FRAME] == profile.window_cycles["overflow"]
+    assert profile.func_self[UNDERFLOW_FRAME] == profile.window_cycles["underflow"]
+    assert profile.retired_cycles + sum(profile.window_cycles.values()) == result.cycles
+
+
+def test_profile_is_deterministic():
+    first, _ = profile_run(_compiled("qsort", "risc1", N=60))
+    second, _ = profile_run(_compiled("qsort", "risc1", N=60))
+    assert first.collapsed() == second.collapsed()
+    assert first.to_dict() == second.to_dict()
+
+
+def test_call_graph_edges_match_reference_counts():
+    # hanoi(8) makes 2^8 - 1 = 255 productive calls, each spawning two
+    # children; main calls hanoi once
+    profile, _ = profile_run(_compiled("towers", "risc1", DISKS=8))
+    assert profile.edges[("main", "hanoi")] == 1
+    assert profile.edges[("hanoi", "hanoi")] == 2 * (2**8 - 1)
+    assert profile.counters["truncated_rets"] == 0
+
+
+# -- the symbolizer against a real line table --------------------------------
+
+
+def test_line_table_and_symbolizer():
+    compiled = _compiled("towers", "risc1")
+    program = compiled.program
+    assert program.source_file == "towers.c"
+    assert program.line_table, "assembler produced no line table"
+    symbolizer = Symbolizer(program)
+    assert symbolizer.function_at(program.symbols["hanoi"]) == "hanoi"
+    assert symbolizer.name_for_target(program.symbols["main"]) == "main"
+    # floor semantics: an address between two table entries resolves to
+    # the lower entry's function
+    hanoi = program.symbols["hanoi"]
+    assert symbolizer.function_at(hanoi + 4) == "hanoi"
+    func, line = symbolizer.location_at(hanoi)
+    assert func == "hanoi" and line > 0
+    # outside the code segment nothing resolves
+    assert symbolizer.function_at(0) == UNKNOWN
+    assert symbolizer.function_at(0xFFFFFF0) == UNKNOWN
+
+
+def test_runtime_assembly_has_function_but_no_line():
+    # __mul lives in hand-written runtime assembly: named, line 0
+    compiled = _compiled("qsort", "risc1", N=20)  # next_rand multiplies
+    symbolizer = Symbolizer(compiled.program)
+    address = compiled.program.symbols["__mul"]
+    func, line = symbolizer.location_at(address)
+    assert func == "__mul" and line == 0
+
+
+def test_vax_line_table():
+    compiled = _compiled("towers", "cisc")
+    symbolizer = Symbolizer(compiled.program)
+    assert symbolizer.function_at(compiled.program.symbols["hanoi"]) == "hanoi"
+    assert "hanoi" in symbolizer.functions()
+
+
+def test_compiled_program_blob_round_trips_line_table():
+    compiled = _compiled("towers", "risc1")
+    clone = CompiledProgram.from_blob(compiled.to_blob())
+    assert clone.program.line_table == compiled.program.line_table
+    assert clone.program.source_file == "towers.c"
+    assert clone.source == compiled.source
+
+
+# -- stack reconstruction edge cases ----------------------------------------
+
+
+class _StubSymbolizer:
+    """Maps pc // 100 to a function letter: 0->a, 1->b, ..."""
+
+    def function_at(self, pc: int) -> str:
+        return chr(ord("a") + pc // 100)
+
+    def location_at(self, pc: int):
+        return (self.function_at(pc), pc % 100)
+
+    def name_for_target(self, target: int) -> str:
+        return self.function_at(target)
+
+
+def test_ret_without_call_prefix():
+    """A ring buffer that evicted the opening CALLs: rets drain an empty
+    stack, counting as truncated, and retires reseed the stack."""
+    builder = ProfileBuilder(_StubSymbolizer())
+    builder.on_ret(pc=105, depth=3)
+    builder.on_ret(pc=5, depth=2)
+    builder.on_retire(pc=210, cost=7)  # reseeds at function 'c'
+    builder.on_call(pc=210, target=300, depth=1)
+    builder.on_retire(pc=305, cost=4)
+    profile = builder.finish(total_cycles=11)
+    assert profile.counters["truncated_rets"] == 2
+    assert profile.counters["reseeded"] == 1
+    assert profile.stack_cycles[("c",)] == 7
+    assert profile.stack_cycles[("c", "d")] == 4
+    assert profile.sampled_cycles == 11
+
+
+def test_trap_during_call_leaves_stack_intact():
+    builder = ProfileBuilder(_StubSymbolizer())
+    builder.on_retire(pc=0, cost=1)
+    builder.on_call(pc=1, target=100, depth=1)
+    builder.on_trap(pc=100, kind="ILLEGAL_INSTRUCTION")
+    builder.on_retire(pc=100, cost=2)
+    profile = builder.finish()
+    assert profile.counters["traps"] == 1
+    assert profile.stack_cycles[("a", "b")] == 2
+
+
+def test_recursion_deeper_than_stack_cap():
+    builder = ProfileBuilder(_StubSymbolizer())
+    builder.on_retire(pc=0, cost=1)
+    for _ in range(MAX_STACK_FRAMES + 50):
+        builder.on_call(pc=1, target=0, depth=0)
+        builder.on_retire(pc=105, cost=1)
+    profile = builder.finish()
+    deep_keys = [key for key in profile.stack_cycles if key[-1] == DEEP_FRAME]
+    assert deep_keys
+    assert all(len(key) <= MAX_STACK_FRAMES for key in profile.stack_cycles)
+    # every cycle is still accounted for
+    assert profile.sampled_cycles == 1 + MAX_STACK_FRAMES + 50
+
+
+def test_anonymous_call_resolves_at_first_callee_retire():
+    builder = ProfileBuilder(_StubSymbolizer())
+    builder.on_retire(pc=5, cost=1)  # in 'a'
+    builder.on_call(pc=6, target=0, depth=1)  # target unknown
+    builder.on_retire(pc=7, cost=1)  # delay slot, still in 'a': charged to 'a'
+    builder.on_retire(pc=110, cost=3)  # now in 'b': resolves
+    profile = builder.finish()
+    assert profile.edges[("a", "b")] == 1
+    assert profile.stack_cycles[("a",)] == 2
+    assert profile.stack_cycles[("a", "b")] == 3
+    assert ANON_FRAME not in profile.func_cum
+
+
+def test_anonymous_call_that_returns_unresolved():
+    builder = ProfileBuilder(_StubSymbolizer())
+    builder.on_retire(pc=5, cost=1)
+    builder.on_call(pc=6, target=0, depth=1)
+    builder.on_ret(pc=7, depth=0)
+    profile = builder.finish()
+    assert profile.edges[("a", ANON_FRAME)] == 1
+
+
+def test_profile_events_from_stored_trace():
+    events = [
+        Event(EventKind.RETIRE, 0.0, pc=0x1000, data={"cycles": 2}),
+        Event(EventKind.CALL, 1.0, pc=0x1004, data={"depth": 1, "target": 0x1100}),
+        Event(EventKind.RETIRE, 2.0, pc=0x1100, data={"cycles": 3}),
+        Event(EventKind.WINDOW_OVERFLOW, 3.0, data={"windows": 1, "depth": 9, "cost": 40}),
+        Event(EventKind.RET, 4.0, pc=0x1104, data={"depth": 0}),
+    ]
+    program = Program(
+        segments=(Segment(0x1000, bytes(0x200), name="code"),),
+        entry=0x1000,
+        symbols={"main": 0x1000, "leaf": 0x1100},
+        line_table={0x1000: ("main", 1), 0x1100: ("leaf", 5)},
+    )
+    profile = profile_events(events, program, machine="risc1")
+    assert profile.stack_cycles[("main",)] == 2
+    assert profile.stack_cycles[("main", "leaf")] == 3
+    assert profile.stack_cycles[("main", "leaf", OVERFLOW_FRAME)] == 40
+    assert profile.edges[("main", "leaf")] == 1
+    assert profile.sampled_cycles == 45
+
+
+# -- reports -----------------------------------------------------------------
+
+
+def test_report_annotate_callgraph_render():
+    profile, result = profile_run(_compiled("towers", "risc1", DISKS=8))
+    report = profile.report(top=5)
+    assert "hanoi" in report and str(result.cycles) in report
+    annotate = profile.annotate()
+    assert "hanoi(n - 1, from, via, to);" in annotate
+    assert "%" in annotate
+    graph = profile.callgraph_text()
+    assert "hanoi -> hanoi" in graph
+    payload = json.loads(json.dumps(profile.to_dict()))
+    assert payload["attributed_fraction"] >= 0.95
+
+
+# -- CLI surfaces ------------------------------------------------------------
+
+
+def test_obs_profile_cli(tmp_path, capsys):
+    assert obs_main(["profile", "report", "--workload", "towers:7"]) == 0
+    assert "hanoi" in capsys.readouterr().out
+    out = tmp_path / "flame.folded"
+    assert (
+        obs_main(["profile", "flame", "--workload", "towers:7", "-o", str(out)]) == 0
+    )
+    text = out.read_text()
+    assert text and all(line.rpartition(" ")[2].isdigit() for line in text.splitlines())
+    assert obs_main(["profile", "annotate", "--workload", "towers:7", "--target", "cisc"]) == 0
+    assert "PARAM_DISKS" in capsys.readouterr().out
+    assert obs_main(["profile", "report", "--workload", "nope:3"]) == 2
+
+
+def test_obs_cli_rejects_bad_traces(tmp_path, capsys):
+    missing = tmp_path / "missing.jsonl"
+    assert obs_main(["view", str(missing)]) == 1
+    assert "no such trace file" in capsys.readouterr().err
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert obs_main(["summarize", str(empty)]) == 1
+    assert "empty trace" in capsys.readouterr().err
+
+    prose = tmp_path / "prose.jsonl"
+    prose.write_text("this is not a trace\nnor is this\n")
+    assert obs_main(["convert", str(prose), str(tmp_path / "out.json")]) == 1
+    assert "not a JSONL trace" in capsys.readouterr().err
+
+    binary = tmp_path / "binary.jsonl"
+    binary.write_bytes(bytes(range(256)))
+    assert obs_main(["view", str(binary)]) == 1
+    assert "binary" in capsys.readouterr().err
+
+    # a truncated final line (interrupted write) warns but still loads
+    good = Event(EventKind.RETIRE, 0.0, pc=4, data={"cycles": 1})
+    truncated = tmp_path / "truncated.jsonl"
+    truncated.write_text(json.dumps(good.to_dict()) + "\n" + '{"kind": "ret", "ts"')
+    assert obs_main(["view", str(truncated)]) == 0
+    assert "skipped 1 malformed line" in capsys.readouterr().err
+
+
+def test_parse_workload_spec():
+    assert parse_workload_spec("towers") == ("towers", {})
+    assert parse_workload_spec("towers:12") == ("towers", {"DISKS": 12})
+    assert parse_workload_spec("bit_matrix_k:N=8,REPS=2") == (
+        "bit_matrix_k",
+        {"N": 8, "REPS": 2},
+    )
+    with pytest.raises(ValueError, match="unknown workload"):
+        parse_workload_spec("bogus:1")
+    with pytest.raises(ValueError, match="has parameters"):
+        parse_workload_spec("bit_matrix_k:8")  # two params, bare value ambiguous
+    with pytest.raises(ValueError, match="no parameter"):
+        parse_workload_spec("towers:SIZE=3")
+    with pytest.raises(ValueError, match="integer"):
+        parse_workload_spec("towers:DISKS=big")
+
+
+def test_experiments_cli_validates_trace_workload(tmp_path):
+    from repro.experiments.cli import main as experiments_main
+
+    with pytest.raises(SystemExit) as excinfo:
+        experiments_main(
+            ["e3", "--trace", str(tmp_path / "t.json"), "--trace-workload", "bogus:1"]
+        )
+    assert excinfo.value.code == 2
+
+
+def test_experiments_cli_profile_writes_reports(tmp_path, capsys):
+    from repro.experiments.cli import main as experiments_main
+
+    out = tmp_path / "profiles"
+    assert (
+        experiments_main(
+            ["e3", "--profile", str(out), "--trace-workload", "towers:7"]
+        )
+        == 0
+    )
+    for target in ("risc1", "cisc"):
+        for suffix in ("folded", "report", "annotate", "callgraph"):
+            path = out / f"towers_7.{target}.{suffix}"
+            assert path.is_file() and path.read_text().strip(), path
