@@ -1,0 +1,71 @@
+"""Benchmark harness for the predecoded execution engine.
+
+Runs the paper's hanoi (``towers``) and ``qsort`` workloads on the RISC I
+simulator under both engines — the reference ``step()`` loop and the
+predecoded fast path — with tracing off and with full tracing, and emits
+``BENCH_speed.json``.
+
+The load-bearing numbers are the tracing-off speedups: the fast engine
+exists to make the experiment/farm hot path cheap, and it must deliver at
+least 3x instructions/second there.  With tracing on the engine drops to
+its exact per-step loop (event timestamps must match the reference bit
+for bit), which still must not be slower than the reference loop.
+
+CI compares ``BENCH_speed.json`` against the committed
+``benchmarks/engine_speed_baseline.json`` and flags (non-blocking) any
+>20% fast-engine throughput drop.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.cc.driver import compile_program
+from repro.core.cpu import CPU
+from repro.farm.jobs import workload_source
+from repro.obs import Tracer
+
+WORKLOADS = ("towers", "qsort")
+REPEATS = 5
+MIN_SPEEDUP = 3.0
+
+
+def _steps_per_s(program, engine, traced):
+    best = 0.0
+    for _ in range(REPEATS):
+        cpu = CPU(tracer=Tracer() if traced else None)
+        cpu.load(program)
+        started = time.perf_counter()
+        result = cpu.run(max_steps=500_000_000, engine=engine)
+        elapsed = time.perf_counter() - started
+        assert result.exit_code == 0
+        best = max(best, result.instructions / elapsed)
+    return best
+
+
+def test_engine_speed(scale, capsys):
+    results = {"scale": scale, "repeats": REPEATS, "workloads": {}}
+    for name in WORKLOADS:
+        program = compile_program(workload_source(name, scale)).program
+        reference = _steps_per_s(program, "reference", traced=False)
+        fast = _steps_per_s(program, "fast", traced=False)
+        reference_traced = _steps_per_s(program, "reference", traced=True)
+        fast_traced = _steps_per_s(program, "fast", traced=True)
+        results["workloads"][name] = {
+            "reference_steps_per_s": round(reference),
+            "fast_steps_per_s": round(fast),
+            "speedup": round(fast / reference, 2),
+            "reference_traced_steps_per_s": round(reference_traced),
+            "fast_traced_steps_per_s": round(fast_traced),
+            "traced_speedup": round(fast_traced / reference_traced, 2),
+        }
+
+    pathlib.Path("BENCH_speed.json").write_text(json.dumps(results, indent=2) + "\n")
+    with capsys.disabled():
+        print("\n" + json.dumps(results, indent=2))
+
+    for name, numbers in results["workloads"].items():
+        # the acceptance bar: >= 3x with tracing off ...
+        assert numbers["speedup"] >= MIN_SPEEDUP, (name, numbers)
+        # ... and no regression with tracing on (0.9 absorbs timer noise)
+        assert numbers["traced_speedup"] >= 0.9, (name, numbers)

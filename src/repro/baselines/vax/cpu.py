@@ -28,6 +28,7 @@ from repro.core.api import (
     RunResult,
     StepLimitExceeded,
     register_stats_type,
+    resolve_engine,
     resolve_max_steps,
 )
 from repro.core.program import Program
@@ -152,6 +153,7 @@ class VaxCPU:
         timing: VaxTiming | None = None,
         tracer=None,
         metrics=None,
+        decode_cache: bool = True,
     ):
         # real VAX permits unaligned operands, so no alignment trap here
         self.memory = Memory(memory_size, check_alignment=False)
@@ -167,6 +169,16 @@ class VaxCPU:
         self._console: list[str] = []
         self._depth = 1
         self._stack_top = memory_size - 16
+        #: pc -> (info, length, cycles, operand evaluators, branch_disp):
+        #: the parse of one instruction, reusable because specifier bytes
+        #: are immutable until something writes over them (watched below).
+        #: Operand *values* are not cached — the evaluators re-read
+        #: registers and apply autoincrement/autodecrement per execution.
+        self._decode_cache: dict = {}
+        self._use_cache = decode_cache
+        self._cache_lo = memory_size  # lowest cached instruction byte
+        self._cache_hi = 0  # one past the highest cached byte
+        self.memory.write_watch = self._note_code_write
 
     def _install_tracer(self, tracer) -> None:
         """Resolve the tracer once; the step loop only tests booleans."""
@@ -209,19 +221,28 @@ class VaxCPU:
         *,
         max_steps: int | None = None,
         tracer=None,
+        engine: str | None = None,
     ) -> RunResult:
         """Run until the program halts.
 
-        Exceeding the step budget raises :class:`StepLimitExceeded`.
-        ``max_instructions`` is the deprecated spelling of ``max_steps``.
+        Exceeding the step budget raises :class:`StepLimitExceeded` with
+        the partial stats attached.  ``max_instructions`` is the
+        deprecated spelling of ``max_steps``.  ``engine`` selects the
+        execution path — ``"fast"`` (default) uses the per-PC operand
+        decode cache, ``"reference"`` re-parses every instruction; both
+        are differentially identical.
         """
         limit = resolve_max_steps(max_instructions, max_steps)
         if tracer is not None:
             self._install_tracer(tracer)
+        use_cache_before = self._use_cache
+        # ``decode_cache=False`` at construction is a hard off-switch;
+        # otherwise the engine selection decides
+        self._use_cache = use_cache_before and resolve_engine(engine) == "fast"
         try:
             for _ in range(limit):
                 self.step()
-            raise StepLimitExceeded(limit, pc=self.pc)
+            raise StepLimitExceeded(limit, pc=self.pc, stats=self.stats)
         except _Halt as halt:
             result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
             if self.metrics is not None:
@@ -229,23 +250,53 @@ class VaxCPU:
 
                 record_machine_run(self.metrics, result)
             return result
+        finally:
+            self._use_cache = use_cache_before
 
     def step(self) -> None:
         pc = self.pc
-        opcode = self._fetch(1)
-        info = BY_OPCODE.get(opcode)
-        if info is None:
-            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, f"opcode {opcode:#04x}", pc=self.pc)
-        cycles = self.timing.base_cycles[info.kind]
-        operands: list[_Operand] = []
-        branch_disp: int | None = None
-        for spec in info.operands:
-            if spec.access == "b":
-                branch_disp = _signed(self._fetch(2), 16)
-            else:
-                operand, mode_family = self._decode_operand(spec.width)
-                cycles += self.timing.specifier_cycles[mode_family]
-                operands.append(operand)
+        entry = self._decode_cache.get(pc) if self._use_cache else None
+        if entry is not None:
+            info, length, cycles, evaluators, branch_disp = entry
+            self.pc = pc + length
+            self.stats.inst_bytes += length
+            # specifier side effects (autoincrement/autodecrement) and
+            # register-relative addresses are applied per execution, in
+            # specifier order, exactly as a fresh parse would
+            operands = [evaluate() for evaluate in evaluators]
+        else:
+            opcode = self._fetch(1)
+            info = BY_OPCODE.get(opcode)
+            if info is None:
+                raise Trap(
+                    TrapKind.ILLEGAL_INSTRUCTION, f"opcode {opcode:#04x}", pc=self.pc
+                )
+            cycles = self.timing.base_cycles[info.kind]
+            operands = []
+            evaluators = []
+            branch_disp: int | None = None
+            for spec in info.operands:
+                if spec.access == "b":
+                    branch_disp = _signed(self._fetch(2), 16)
+                else:
+                    evaluate, mode_family = self._predecode_operand(spec.width)
+                    cycles += self.timing.specifier_cycles[mode_family]
+                    evaluators.append(evaluate)
+                    # evaluated here, mid-parse, so side effects land at
+                    # the same point as the historical eager decoder
+                    operands.append(evaluate())
+            if self._use_cache:
+                self._decode_cache[pc] = (
+                    info,
+                    self.pc - pc,
+                    cycles,
+                    tuple(evaluators),
+                    branch_disp,
+                )
+                if pc < self._cache_lo:
+                    self._cache_lo = pc
+                if self.pc > self._cache_hi:
+                    self._cache_hi = self.pc
         reads_before = self.memory.stats.data_reads
         writes_before = self.memory.stats.data_writes
         try:
@@ -276,32 +327,72 @@ class VaxCPU:
         self.stats.inst_bytes += width
         return value
 
-    def _decode_operand(self, width: int) -> tuple[_Operand, str]:
+    def _predecode_operand(self, width: int):
+        """Parse one operand specifier into a reusable evaluator.
+
+        Returns ``(evaluate, mode_family)``.  The evaluator produces this
+        specifier's :class:`_Operand` for one execution; modes whose value
+        depends on register state (deferred, displacement, autoincrement,
+        autodecrement) re-read — and for the auto modes, re-modify — the
+        register each time, so replaying a cached parse is
+        indistinguishable from a fresh one.  Static modes (literal,
+        register, immediate, absolute) share one read-only operand.
+        """
+        regs = self.regs
         spec = self._fetch(1)
         if spec < 0x40:
-            return _Operand("imm", spec), "literal"
+            operand = _Operand("imm", spec)
+            return (lambda: operand), "literal"
         mode = spec >> 4
         reg = spec & 0xF
         if mode == Mode.REGISTER:
-            return _Operand("reg", reg), "register"
+            operand = _Operand("reg", reg)
+            return (lambda: operand), "register"
         if mode == Mode.DEFERRED:
-            return _Operand("mem", self.regs[reg]), "deferred"
+            return (lambda: _Operand("mem", regs[reg])), "deferred"
         if mode == Mode.AUTODEC:
-            self.regs[reg] = (self.regs[reg] - width) & WORD
-            return _Operand("mem", self.regs[reg]), "autodec"
+            def evaluate():
+                regs[reg] = (regs[reg] - width) & WORD
+                return _Operand("mem", regs[reg])
+
+            return evaluate, "autodec"
         if mode == Mode.AUTOINC:
             if reg == 15:  # immediate
-                return _Operand("imm", self._fetch(width)), "immediate"
-            address = self.regs[reg]
-            self.regs[reg] = (address + width) & WORD
-            return _Operand("mem", address), "autoinc"
+                operand = _Operand("imm", self._fetch(width))
+                return (lambda: operand), "immediate"
+
+            def evaluate():
+                address = regs[reg]
+                regs[reg] = (address + width) & WORD
+                return _Operand("mem", address)
+
+            return evaluate, "autoinc"
         if mode == Mode.ABSOLUTE and reg == 15:
-            return _Operand("mem", self._fetch(4)), "absolute"
+            operand = _Operand("mem", self._fetch(4))
+            return (lambda: operand), "absolute"
         if mode in (Mode.DISP8, Mode.DISP16, Mode.DISP32):
             size = {Mode.DISP8: 1, Mode.DISP16: 2, Mode.DISP32: 4}[Mode(mode)]
             disp = _signed(self._fetch(size), size * 8)
-            return _Operand("mem", (self.regs[reg] + disp) & WORD), "disp"
+            return (lambda: _Operand("mem", (regs[reg] + disp) & WORD)), "disp"
         raise Trap(TrapKind.ILLEGAL_INSTRUCTION, f"operand specifier {spec:#04x}", pc=self.pc)
+
+    def _decode_operand(self, width: int) -> tuple[_Operand, str]:
+        """Parse and evaluate one specifier (the historical eager form)."""
+        evaluate, mode_family = self._predecode_operand(width)
+        return evaluate(), mode_family
+
+    def _note_code_write(self, address: int, width: int = 4) -> None:
+        """Drop cached decodings when a store may have touched one.
+
+        Stores land almost exclusively in stack/heap space far above the
+        code, so the common case is two comparisons; a hit (self-modifying
+        code) clears the whole cache rather than tracking per-instruction
+        extents.
+        """
+        if address < self._cache_hi and address + width > self._cache_lo:
+            self._decode_cache.clear()
+            self._cache_lo = self.memory.size
+            self._cache_hi = 0
 
     # -- operand access -----------------------------------------------------------
 
@@ -333,7 +424,7 @@ class VaxCPU:
             return
         address = operand.value
         if address >= MMIO_BASE:
-            self._mmio_store(address, value)
+            self._mmio_store(address, value, width)
             return
         self.memory.write(address, value, width)
         self.stats.data_writes += 1
@@ -345,9 +436,14 @@ class VaxCPU:
             raise Trap(TrapKind.ILLEGAL_INSTRUCTION, "address operand must reference memory")
         return operand.value
 
-    def _mmio_store(self, address: int, value: int) -> None:
+    def _mmio_store(self, address: int, value: int, width: int = 4) -> None:
         self.stats.data_writes += 1
         self.memory.stats.data_writes += 1  # charged like any other store
+        # emitted before the store takes effect so the halting store (and
+        # a trapping one) still appears in the trace — keeping the MEM_REF
+        # stream in lockstep with the data_writes counter
+        if self._trace_mem:
+            self.tracer.mem_ref(self.stats.cycles, self.pc, address, "w", width)
         if address == MMIO_PUTCHAR:
             self._console.append(chr(value & 0xFF))
         elif address == MMIO_PUTINT:
@@ -355,7 +451,9 @@ class VaxCPU:
         elif address == MMIO_HALT:
             self._halt(_signed(value))
         else:
-            raise Trap(TrapKind.BUS_ERROR, f"unknown MMIO address {address:#x}")
+            raise Trap(
+                TrapKind.BUS_ERROR, f"unknown MMIO address {address:#x}", pc=self.pc
+            )
 
     # -- flags ----------------------------------------------------------------------
 

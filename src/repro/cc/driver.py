@@ -127,11 +127,14 @@ def run_compiled(
     max_steps: int | None = None,
     tracer=None,
     metrics=None,
+    engine: str | None = None,
 ):
     """Execute a compiled program on its target's simulator.
 
     Returns the unified :class:`repro.core.api.RunResult` for either
-    target; ``tracer``/``metrics`` are handed to the machine.
+    target; ``tracer``/``metrics`` are handed to the machine.  ``engine``
+    picks the execution path (``None`` defers to ``$REPRO_ENGINE``, then
+    the fast default); both engines are differentially identical.
     """
     if compiled.target == "risc1":
         from repro.core.cpu import CPU
@@ -142,4 +145,4 @@ def run_compiled(
 
         cpu = VaxCPU(tracer=tracer, metrics=metrics)
     cpu.load(compiled.program)
-    return cpu.run(max_instructions, max_steps=max_steps)
+    return cpu.run(max_instructions, max_steps=max_steps, engine=engine)

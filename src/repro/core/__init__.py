@@ -6,11 +6,14 @@ assembler (:mod:`repro.asm`) or the mini-C compiler (:mod:`repro.cc`).
 """
 
 from repro.core.api import (
+    DEFAULT_ENGINE,
     DEFAULT_MAX_STEPS,
+    VALID_ENGINES,
     Machine,
     MachineHalted,
     RunResult,
     StepLimitExceeded,
+    resolve_engine,
 )
 from repro.core.cpu import CPU, ExecutionResult
 from repro.core.program import Program, Segment
@@ -19,6 +22,7 @@ from repro.core.timing import RiscTiming
 
 __all__ = [
     "CPU",
+    "DEFAULT_ENGINE",
     "DEFAULT_MAX_STEPS",
     "ExecutionResult",
     "ExecutionStats",
@@ -29,4 +33,6 @@ __all__ = [
     "RunResult",
     "Segment",
     "StepLimitExceeded",
+    "VALID_ENGINES",
+    "resolve_engine",
 ]

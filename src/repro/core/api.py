@@ -25,18 +25,22 @@ pre-existing callers and cached farm artifacts keep loading.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Any, Protocol, runtime_checkable
 
 from repro.machine.traps import Trap, TrapKind
 
 __all__ = [
+    "DEFAULT_ENGINE",
     "DEFAULT_MAX_STEPS",
     "Machine",
     "MachineHalted",
     "RESULT_SCHEMA_VERSION",
     "RunResult",
     "StepLimitExceeded",
+    "VALID_ENGINES",
     "register_stats_type",
+    "resolve_engine",
     "resolve_max_steps",
     "stats_type",
 ]
@@ -48,6 +52,31 @@ DEFAULT_MAX_STEPS = 200_000_000
 
 #: Bump on any backwards-incompatible :meth:`RunResult.to_dict` change.
 RESULT_SCHEMA_VERSION = 2
+
+#: Execution engines a machine's ``run()`` accepts.  ``"fast"`` is the
+#: predecoded path (:mod:`repro.core.engine` for RISC I, the operand
+#: decode cache for the VAX); ``"reference"`` is the plain ``step()``
+#: loop the fast path is differentially tested against.  Both produce
+#: bit-identical results, stats and event streams by contract.
+VALID_ENGINES = ("fast", "reference")
+
+#: Engine used when neither the call site nor ``$REPRO_ENGINE`` says.
+DEFAULT_ENGINE = "fast"
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an execution-engine selection.
+
+    Precedence: explicit argument, then the ``REPRO_ENGINE`` environment
+    variable (which reaches farm worker processes too), then
+    :data:`DEFAULT_ENGINE`.
+    """
+    resolved = engine or os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+    if resolved not in VALID_ENGINES:
+        raise ValueError(
+            f"unknown engine {resolved!r}; expected one of {', '.join(VALID_ENGINES)}"
+        )
+    return resolved
 
 
 class MachineHalted(Exception):
@@ -67,12 +96,14 @@ class StepLimitExceeded(Trap):
 
     A :class:`~repro.machine.traps.Trap` subclass, so existing handlers
     that catch ``Trap`` keep working, but the cause is now a distinct,
-    catchable type carrying the exhausted ``limit``.
+    catchable type carrying the exhausted ``limit`` and — for post-mortem
+    analysis — the machine's (synced) partial ``stats``.
     """
 
-    def __init__(self, limit: int, pc: int | None = None):
+    def __init__(self, limit: int, pc: int | None = None, stats: Any = None):
         super().__init__(TrapKind.HALT, f"instruction limit of {limit} reached", pc=pc)
         self.limit = limit
+        self.stats = stats
 
 
 def resolve_max_steps(max_instructions: int | None, max_steps: int | None) -> int:
@@ -194,8 +225,13 @@ class Machine(Protocol):
         *,
         max_steps: int | None = None,
         tracer=None,
+        engine: str | None = None,
     ) -> RunResult:
-        """Run to halt (or raise :class:`StepLimitExceeded`)."""
+        """Run to halt (or raise :class:`StepLimitExceeded`).
+
+        ``engine`` picks the execution path (see :data:`VALID_ENGINES`);
+        ``None`` defers to ``$REPRO_ENGINE`` / :data:`DEFAULT_ENGINE`.
+        """
         ...
 
     def step(self) -> None:

@@ -28,6 +28,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="trace execution, printing the first N instructions",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        help="execution engine (default: fast; reference is the plain "
+        "step() loop the fast path is differentially tested against)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.source) as handle:
@@ -50,7 +56,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         result = trace.result
     else:
-        result = cpu.run(max_instructions=args.max_instructions)
+        result = cpu.run(max_instructions=args.max_instructions, engine=args.engine)
     sys.stdout.write(result.output)
     if args.stats:
         print(file=sys.stderr)

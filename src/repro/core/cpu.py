@@ -38,6 +38,7 @@ from repro.core.api import (
     MachineHalted,
     RunResult,
     StepLimitExceeded,
+    resolve_engine,
     resolve_max_steps,
 )
 from repro.core.program import Program
@@ -150,6 +151,8 @@ class CPU:
         self.call_trace: list[tuple[str, int]] | None = [] if trace_calls else None
         #: Optional per-instruction hook ``fn(pc, instruction)``.
         self.on_execute: Callable[[int, Instruction], None] | None = None
+        #: The last-loaded program; the fast engine predecodes its segments.
+        self._program: Program | None = None
 
     # -- observability -----------------------------------------------------
 
@@ -175,6 +178,7 @@ class CPU:
         self.npc = program.entry + 4
         self._halted = False
         self._exit_code = None
+        self._program = program
         self.regs.write(SP, self._stack_top)
 
     # -- execution ----------------------------------------------------------
@@ -194,20 +198,32 @@ class CPU:
         *,
         max_steps: int | None = None,
         tracer=None,
+        engine: str | None = None,
     ) -> RunResult:
         """Run until the program halts.
 
-        Exceeding the step budget raises :class:`StepLimitExceeded`.
-        ``max_instructions`` is the deprecated spelling of ``max_steps``.
-        A ``tracer`` passed here is installed for this run (and stays).
+        Exceeding the step budget raises :class:`StepLimitExceeded` with
+        the synced partial stats attached.  ``max_instructions`` is the
+        deprecated spelling of ``max_steps``.  A ``tracer`` passed here is
+        installed for this run (and stays).  ``engine`` selects the
+        execution path — ``"fast"`` (default, the predecoded engine of
+        :mod:`repro.core.engine`) or ``"reference"`` (the plain ``step()``
+        loop); both are differentially identical.
         """
         limit = resolve_max_steps(max_instructions, max_steps)
         if tracer is not None:
             self._install_tracer(tracer)
+        engine_name = resolve_engine(engine)
         try:
-            for _ in range(limit):
-                self.step()
-            raise StepLimitExceeded(limit, pc=self.pc)
+            if engine_name == "fast" and self._program is not None:
+                from repro.core.engine import PredecodedEngine
+
+                PredecodedEngine(self).run(limit)
+            else:
+                for _ in range(limit):
+                    self.step()
+            self._sync_memory_stats()
+            raise StepLimitExceeded(limit, pc=self.pc, stats=self.stats)
         except _Halt as halt:
             self._sync_memory_stats()
             result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
@@ -382,7 +398,7 @@ class CPU:
         address = (self.regs.read(inst.rs1) + self._s2_value(inst)) & WORD
         value = self.regs.read(inst.dest)
         if address >= MMIO_BASE:
-            self._mmio_store(address, value)
+            self._mmio_store(address, value, width, pc)
             return
         try:
             self.memory.write(address, value, width)
@@ -392,8 +408,13 @@ class CPU:
         if self._trace_mem:
             self.tracer.mem_ref(self.stats.cycles, pc, address, "w", width)
 
-    def _mmio_store(self, address: int, value: int) -> None:
+    def _mmio_store(self, address: int, value: int, width: int, pc: int) -> None:
         self.memory.stats.data_writes += 1
+        # the event is emitted before the store takes effect so the halting
+        # store (and a trapping one) still appears in the trace — keeping
+        # the MEM_REF stream in lockstep with the data_writes counter
+        if self._trace_mem:
+            self.tracer.mem_ref(self.stats.cycles, pc, address, "w", width)
         if address == MMIO_PUTCHAR:
             self._console.append(chr(value & 0xFF))
         elif address == MMIO_PUTINT:
@@ -403,7 +424,7 @@ class CPU:
             self._exit_code = to_signed(value)
             raise _Halt(self._exit_code)
         else:
-            raise Trap(TrapKind.BUS_ERROR, f"unknown MMIO address {address:#x}")
+            raise Trap(TrapKind.BUS_ERROR, f"unknown MMIO address {address:#x}", pc=pc)
 
     # control ---------------------------------------------------------------
 
@@ -523,7 +544,20 @@ class CPU:
         self.regs.write(inst.dest, self.psw.pack())
 
     def _putpsw(self, inst: Instruction, pc: int) -> None:
-        self.psw.unpack(self.regs.read(inst.dest))
+        word = self.regs.read(inst.dest)
+        # The CWP field is not writable state here: the real window pointer
+        # lives in the register file and only CALL/RETURN rotate it.  A
+        # PUTPSW whose CWP bits disagree with the actual pointer would
+        # silently desynchronize the PSW (GETPSW used to mask this by
+        # re-syncing first), so it traps instead of being half-applied.
+        if (word >> 8) & 0xF != self.regs.cwp & 0xF:
+            raise Trap(
+                TrapKind.ILLEGAL_INSTRUCTION,
+                f"PUTPSW CWP {(word >> 8) & 0xF} does not match "
+                f"the current window {self.regs.cwp & 0xF}",
+                pc=pc,
+            )
+        self.psw.unpack(word)
 
     # -- bookkeeping -----------------------------------------------------------
 

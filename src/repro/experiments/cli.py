@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
 import time
 
@@ -161,7 +162,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the aggregated run-metrics registry after the experiments",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        help="execution engine for every simulated run (default: fast; "
+        "both are differentially identical, reference is the plain "
+        "step() loop)",
+    )
     args = parser.parse_args(argv)
+
+    if args.engine:
+        # exported (rather than threaded through every call) so the farm's
+        # worker processes and the lru-cached run helpers all see it
+        os.environ["REPRO_ENGINE"] = args.engine
 
     if args.list:
         for key, (_, description) in EXPERIMENTS.items():

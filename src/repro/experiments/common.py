@@ -7,6 +7,12 @@ process) over the farm's content-addressed on-disk cache (L2, in
 :mod:`repro.farm`, so nothing is recompiled or re-simulated across
 invocations unless the workload source or the toolchain changed).
 Set ``REPRO_FARM_CACHE=0`` to disable the on-disk layer.
+
+Every simulated run here resolves its execution engine from
+``$REPRO_ENGINE`` (set by ``risc1-experiments --engine``) rather than a
+threaded-through parameter: the engines are differentially identical, so
+neither the L1 caches nor the farm's artifact keys need an engine
+component.
 """
 
 from __future__ import annotations

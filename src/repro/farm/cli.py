@@ -21,6 +21,12 @@ from repro.workloads import ALL_WORKLOADS
 
 
 def _cmd_run(args) -> int:
+    if args.engine:
+        import os
+
+        # the environment propagates to spawned worker processes, so every
+        # simulated run in the sweep uses the requested engine
+        os.environ["REPRO_ENGINE"] = args.engine
     workloads = args.workloads or None
     if workloads:
         unknown = [name for name in workloads if name not in ALL_WORKLOADS]
@@ -125,6 +131,13 @@ def main(argv: list[str] | None = None) -> int:
         "--workloads", nargs="*", help=f"subset of: {', '.join(ALL_WORKLOADS)}"
     )
     run_parser.add_argument("--no-ir", action="store_true", help="skip IR profile jobs")
+    run_parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        help="execution engine for every simulated run (default: fast; "
+        "cache keys are engine-free because both engines are "
+        "differentially identical)",
+    )
     run_parser.add_argument("--format", choices=("text", "json"), default="text")
     run_parser.add_argument(
         "--trace", metavar="PATH", help="write a Chrome trace of the sweep's job timeline"

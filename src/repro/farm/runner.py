@@ -112,6 +112,10 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
         value = run_ir(program.ir)
     else:
         limit = dict(job.config).get("max_instructions", MAX_INSTRUCTIONS)
+        # the engine (resolved from $REPRO_ENGINE inside run_compiled, so
+        # it reaches worker processes) is deliberately NOT part of the
+        # cache key: both engines are differentially identical, so their
+        # results are interchangeable artifacts
         value = run_compiled(program, max_steps=limit)
     _verify(job, value.output)
     if cache is not None:

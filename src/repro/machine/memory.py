@@ -58,6 +58,11 @@ class Memory:
         self.check_alignment = check_alignment
         self._bytes = bytearray(size)
         self.stats = MemoryStats()
+        #: Optional ``fn(address, width)`` called after every accounted
+        #: write.  Execution engines that predecode instruction memory
+        #: install an invalidator here so stores into code (self-modifying
+        #: programs, window spills over code, ...) flush stale decodings.
+        self.write_watch = None
 
     # -- raw access (no traffic accounting; used by loaders/tests) -----
 
@@ -94,6 +99,8 @@ class Memory:
         value &= (1 << (width * 8)) - 1
         self._bytes[address : address + width] = value.to_bytes(width, "big")
         self.stats.data_writes += 1
+        if self.write_watch is not None:
+            self.write_watch(address, width)
 
     # -- helpers ---------------------------------------------------------
 

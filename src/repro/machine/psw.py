@@ -35,7 +35,12 @@ class PSW:
         return word
 
     def unpack(self, word: int) -> None:
-        """Load state from a PUTPSW operand (CWP bits are advisory)."""
+        """Load state from a PUTPSW operand.
+
+        The CWP bits are copied as given; the CPU validates them against
+        the register file's real window pointer before calling this (a
+        mismatch traps rather than desynchronizing the two).
+        """
         self.cc = ConditionCodes(
             z=bool(word & 1),
             n=bool(word & 2),

@@ -1,0 +1,372 @@
+"""Differential tests: the fast engines must be bit-identical to reference.
+
+Every scenario here runs twice — once with ``engine="reference"`` (the
+plain ``step()`` loop) and once with ``engine="fast"`` (the predecoded
+RISC engine / the VAX operand decode cache) — and asserts that *all*
+observable state agrees: the run result, every stats field, the memory
+traffic counters, the final architectural state, and the complete tracer
+event stream (timestamps included).
+"""
+
+import functools
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.baselines.vax.cpu import VaxCPU
+from repro.cc.driver import compile_program
+from repro.core.api import StepLimitExceeded
+from repro.core.cpu import CPU
+from repro.isa.encoding import EncodingError
+from repro.machine.traps import Trap
+from repro.obs.tracer import Tracer
+from repro.workloads import ALL_WORKLOADS
+
+WORKLOADS = sorted(ALL_WORKLOADS)
+TRACED_WORKLOADS = ["towers", "qsort", "ackermann", "sed"]
+
+
+@functools.lru_cache(maxsize=None)
+def workload_program(name: str, target: str):
+    return compile_program(ALL_WORKLOADS[name].source(), target=target).program
+
+
+def _outcome(run):
+    """Run a machine; classify how it ended, keeping the comparable bits."""
+    try:
+        result = run()
+        return ("halt", result.to_dict())
+    except StepLimitExceeded as exc:
+        return ("limit", exc.limit, exc.pc, exc.stats.to_dict())
+    except Trap as trap:
+        return ("trap", trap.kind, trap.detail, trap.pc)
+    except EncodingError as exc:
+        return ("encoding", str(exc))
+
+
+def run_risc(program, engine, *, windows=8, traced=False, max_steps=5_000_000,
+             hook_factory=None, interrupt_at=None):
+    cpu = CPU(num_windows=windows)
+    tracer = Tracer(capacity=1 << 14) if traced else None
+    cpu.load(program)
+    if hook_factory is not None:
+        cpu.on_execute = hook_factory(cpu, program)
+    if interrupt_at is not None:
+        cpu.raise_interrupt(interrupt_at)
+    outcome = _outcome(
+        lambda: cpu.run(max_steps=max_steps, tracer=tracer, engine=engine)
+    )
+    return {
+        "outcome": outcome,
+        "stats": cpu.stats.to_dict(),
+        "mem": (
+            cpu.memory.stats.inst_fetches,
+            cpu.memory.stats.data_reads,
+            cpu.memory.stats.data_writes,
+        ),
+        "pc": (cpu.pc, cpu.npc),
+        "regs": list(cpu.regs._regs),
+        "cwp": cpu.regs.cwp,
+        "psw": (cpu.psw.pack(), cpu.psw.interrupts_enabled),
+        "console": "".join(cpu._console),
+        "interrupts": cpu.interrupts_taken,
+        "events": list(tracer.events) if tracer else None,
+        "dropped": tracer.dropped if tracer else 0,
+    }
+
+
+def assert_risc_identical(program, **kwargs):
+    reference = run_risc(program, "reference", **kwargs)
+    fast = run_risc(program, "fast", **kwargs)
+    assert fast == reference
+    return reference
+
+
+def run_vax(program, engine, *, traced=False, max_steps=5_000_000):
+    cpu = VaxCPU()
+    tracer = Tracer(capacity=1 << 14) if traced else None
+    cpu.load(program)
+    outcome = _outcome(
+        lambda: cpu.run(max_steps=max_steps, tracer=tracer, engine=engine)
+    )
+    return {
+        "outcome": outcome,
+        "stats": cpu.stats.to_dict(),
+        "mem": (cpu.memory.stats.data_reads, cpu.memory.stats.data_writes),
+        "pc": cpu.pc,
+        "regs": list(cpu.regs),
+        "flags": (cpu.n, cpu.z, cpu.v, cpu.c),
+        "console": "".join(cpu._console),
+        "events": list(tracer.events) if tracer else None,
+        "dropped": tracer.dropped if tracer else 0,
+    }
+
+
+def assert_vax_identical(program, **kwargs):
+    reference = run_vax(program, "reference", **kwargs)
+    fast = run_vax(program, "fast", **kwargs)
+    assert fast == reference
+    return reference
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_risc_untraced(self, name):
+        reference = assert_risc_identical(workload_program(name, "risc1"))
+        assert reference["outcome"][0] == "halt"
+
+    @pytest.mark.parametrize("name", TRACED_WORKLOADS)
+    def test_risc_traced(self, name):
+        reference = assert_risc_identical(workload_program(name, "risc1"), traced=True)
+        assert reference["events"]
+
+    @pytest.mark.parametrize("name", TRACED_WORKLOADS)
+    def test_vax_untraced(self, name):
+        reference = assert_vax_identical(workload_program(name, "cisc"))
+        assert reference["outcome"][0] == "halt"
+
+    @pytest.mark.parametrize("name", TRACED_WORKLOADS)
+    def test_vax_traced(self, name):
+        reference = assert_vax_identical(workload_program(name, "cisc"), traced=True)
+        assert reference["events"]
+
+
+class TestWindowTraffic:
+    """Deep recursion under few windows: overflow and underflow handling."""
+
+    @pytest.mark.parametrize("windows", [2, 3])
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_towers_under_window_pressure(self, windows, traced):
+        reference = assert_risc_identical(
+            workload_program("towers", "risc1"), windows=windows, traced=traced
+        )
+        stats = reference["stats"]
+        assert stats["window_overflows"] > 0
+        assert stats["window_underflows"] > 0
+
+
+INTERRUPT_PROGRAM = """
+; count to 100 in a loop; the handler bumps a memory cell
+main:
+    add r2, r0, #0
+loop:
+    add r2, r2, #1
+    cmp r2, #100
+    jne loop
+    nop
+    set r3, cell
+    ldl r4, 0(r3)
+    puti r2
+    putc r0
+    puti r4
+    halt r2
+
+handler:
+    set r16, cell
+    ldl r17, 0(r16)
+    add r17, r17, #1
+    stl r17, 0(r16)
+    retint r26, #0
+    nop
+
+.data
+cell: .word 0
+"""
+
+
+class TestInterruptParity:
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_hook_driven_interrupts(self, traced):
+        program = assemble(INTERRUPT_PROGRAM)
+
+        def hook_factory(cpu, prog):
+            handler = prog.symbol("handler")
+            count = [0]
+
+            def hook(pc, inst):
+                count[0] += 1
+                if count[0] in (20, 75, 130):
+                    cpu.raise_interrupt(handler)
+
+            return hook
+
+        reference = assert_risc_identical(
+            program, hook_factory=hook_factory, traced=traced
+        )
+        assert reference["interrupts"] == 3
+        assert reference["console"].endswith("3")
+
+    def test_prelatched_interrupt_batched_path(self):
+        """An interrupt pending at entry, no hook: the batched loop delivers."""
+        program = assemble(INTERRUPT_PROGRAM)
+        reference = assert_risc_identical(
+            program, interrupt_at=program.symbol("handler")
+        )
+        assert reference["interrupts"] == 1
+        assert reference["console"].endswith("1")
+
+
+class TestTrapParity:
+    def _assert_trap(self, source, kind=None, traced=False):
+        reference = assert_risc_identical(assemble(source), traced=traced)
+        assert reference["outcome"][0] == "trap"
+        if kind is not None:
+            assert reference["outcome"][1] == kind
+        return reference
+
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_misaligned_load(self, traced):
+        self._assert_trap(
+            """
+            main:
+                add r2, r0, #2
+                ldl r3, 0(r2)
+                halt r0
+            """,
+            traced=traced,
+        )
+
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_bus_error_load(self, traced):
+        self._assert_trap(
+            """
+            main:
+                set r2, #0x100000
+                ldl r3, 0(r2)
+                halt r0
+            """,
+            traced=traced,
+        )
+
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_unknown_mmio_store(self, traced):
+        reference = self._assert_trap(
+            """
+            main:
+                set r2, #0x7F000008
+                stl r0, 0(r2)
+                halt r0
+            """,
+            traced=traced,
+        )
+        # the faulting PC is attached (satellite fix) on both engines
+        assert reference["outcome"][3] is not None
+
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_call_in_delay_slot(self, traced):
+        self._assert_trap(
+            """
+            main:
+                callr sub
+                callr sub
+                halt r0
+            sub:
+                ret
+                nop
+            """,
+            traced=traced,
+        )
+
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_return_from_outermost_frame(self, traced):
+        self._assert_trap(
+            """
+            main:
+                ret
+                nop
+            """,
+            traced=traced,
+        )
+
+    def test_illegal_instruction_word(self):
+        reference = assert_risc_identical(
+            assemble(
+                """
+                main:
+                    jmp target
+                    nop
+                .data
+                target: .word 0
+                """
+            )
+        )
+        # jumping into data executes whatever decodes there; outside the
+        # predecoded range the fast engine falls back to step(), so both
+        # engines agree however it ends
+        assert reference["outcome"][0] in ("trap", "encoding")
+
+
+SELF_MODIFYING_PROGRAM = """
+; the instruction at `patch` starts as `add r6, r6, #1`; the loop
+; overwrites it with `add r6, r6, #5` after the first iteration
+main:
+    set r2, patch
+    set r3, newinst
+    ldl r4, 0(r3)
+    add r5, r0, #3
+    add r6, r0, #0
+loop:
+patch:
+    add r6, r6, #1
+    stl r4, 0(r2)
+    sub! r5, r5, #1
+    jne loop
+    nop
+    halt r6
+
+.data
+newinst: .word 0
+"""
+
+
+class TestSelfModifyingCode:
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_patched_instruction_reexecutes(self, traced):
+        from repro.isa.encoding import Instruction, encode
+        from repro.isa.opcodes import Opcode
+
+        # plant the replacement word (add r6, r6, #5) in the data cell
+        patched = encode(Instruction.short(Opcode.ADD, dest=6, rs1=6, s2=5, imm=True))
+        program = assemble(
+            SELF_MODIFYING_PROGRAM.replace(".word 0", f".word {patched:#x}")
+        )
+        reference = assert_risc_identical(program, traced=traced)
+        # 1 (original) + 5 + 5 (patched re-executions)
+        assert reference["outcome"][1]["exit_code"] == 11
+
+
+class TestPswParity:
+    def test_getpsw_putpsw_round_trip(self):
+        reference = assert_risc_identical(
+            assemble(
+                """
+                main:
+                    add! r2, r0, #0
+                    getpsw r3
+                    putpsw r3
+                    getpsw r4
+                    halt r4
+                """
+            )
+        )
+        assert reference["outcome"][0] == "halt"
+
+
+class TestStepLimitParity:
+    def test_partial_stats_attached_and_identical(self):
+        program = workload_program("towers", "risc1")
+        reference = run_risc(program, "reference", max_steps=1_000)
+        fast = run_risc(program, "fast", max_steps=1_000)
+        assert fast == reference
+        kind, limit, pc, stats = reference["outcome"]
+        assert kind == "limit"
+        assert limit == 1_000
+        assert stats["instructions"] == 1_000
+
+    def test_vax_partial_stats(self):
+        program = workload_program("towers", "cisc")
+        reference = run_vax(program, "reference", max_steps=500)
+        fast = run_vax(program, "fast", max_steps=500)
+        assert fast == reference
+        assert reference["outcome"][0] == "limit"
+        assert reference["outcome"][3]["instructions"] == 500

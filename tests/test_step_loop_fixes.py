@@ -1,0 +1,209 @@
+"""Regression tests for the step-loop correctness fixes.
+
+Covers the satellite bug fixes that rode along with the fast engine:
+
+* MMIO stores now emit MEM_REF events, keeping the trace in lockstep
+  with the ``data_writes`` counter on both machines;
+* unknown-MMIO traps carry the faulting PC;
+* ``run()`` syncs stats before raising :class:`StepLimitExceeded` and
+  attaches the partial stats to the exception;
+* ``PUTPSW`` traps when the written CWP disagrees with the register
+  file's real window pointer instead of silently desynchronizing.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.baselines.vax.cpu import VaxCPU
+from repro.cc.driver import compile_program
+from repro.core.api import StepLimitExceeded
+from repro.core.cpu import CPU, MMIO_BASE, MMIO_HALT
+from repro.machine.traps import Trap, TrapKind
+from repro.obs.events import EventKind
+from repro.obs.tracer import Tracer
+from repro.workloads import ALL_WORKLOADS
+
+
+def risc_cpu(source, tracer=None):
+    cpu = CPU(tracer=tracer)
+    cpu.load(assemble(source))
+    return cpu
+
+
+class TestMmioObservability:
+    OUTPUT_PROGRAM = """
+    main:
+        add r2, r0, #72
+        putc r2
+        puti r2
+        halt r0
+    """
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_risc_mmio_stores_traced(self, engine):
+        tracer = Tracer(kinds={EventKind.MEM_REF})
+        cpu = risc_cpu(self.OUTPUT_PROGRAM, tracer=tracer)
+        result = cpu.run(max_steps=1_000, engine=engine)
+        assert result.output == "H72"
+        writes = [e for e in tracer.events if e.data["rw"] == "w"]
+        assert tracer.dropped == 0
+        # every accounted write — the three MMIO stores included — traced
+        assert len(writes) == cpu.memory.stats.data_writes == 3
+        assert all(e.data["addr"] >= MMIO_BASE for e in writes)
+        # the halting store itself is in the stream
+        assert writes[-1].data["addr"] == MMIO_HALT
+
+    def test_vax_mmio_store_counts_and_traces_in_lockstep(self):
+        tracer = Tracer(kinds={EventKind.MEM_REF})
+        cpu = VaxCPU(tracer=tracer)
+        writes_before = cpu.stats.data_writes
+        cpu._mmio_store(MMIO_BASE + 0x4, 42, 4)  # PUTINT
+        assert cpu.stats.data_writes == writes_before + 1
+        assert cpu.memory.stats.data_writes == 1
+        events = list(tracer.events)
+        assert len(events) == 1  # the store is traced, not just counted
+        assert events[0].data == {"addr": MMIO_BASE + 0x4, "rw": "w", "width": 4}
+        assert "".join(cpu._console) == "42"
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_vax_halting_store_appears_in_trace(self, engine):
+        program = compile_program(
+            ALL_WORKLOADS["towers"].source(), target="cisc"
+        ).program
+        tracer = Tracer(capacity=1 << 19, kinds={EventKind.MEM_REF})
+        cpu = VaxCPU(tracer=tracer)
+        cpu.load(program)
+        cpu.run(max_steps=5_000_000, engine=engine)
+        assert tracer.dropped == 0
+        mmio = [
+            e
+            for e in tracer.events
+            if e.data["rw"] == "w" and e.data["addr"] >= MMIO_BASE
+        ]
+        # before the fix the MMIO output stores were invisible to the trace
+        assert mmio
+        assert mmio[-1].data["addr"] == MMIO_HALT
+
+
+class TestMmioTrapPc:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_risc_unknown_mmio_carries_pc(self, engine):
+        cpu = risc_cpu(
+            """
+            main:
+                set r2, #0x7F000008
+                stl r0, 0(r2)
+                halt r0
+            """
+        )
+        with pytest.raises(Trap) as excinfo:
+            cpu.run(max_steps=1_000, engine=engine)
+        assert excinfo.value.kind is TrapKind.BUS_ERROR
+        assert excinfo.value.pc == cpu.pc
+
+    def test_vax_unknown_mmio_carries_pc(self):
+        cpu = VaxCPU()
+        cpu.pc = 0x1234
+        with pytest.raises(Trap) as excinfo:
+            cpu._mmio_store(MMIO_BASE + 0x10, 0, 4)
+        assert excinfo.value.kind is TrapKind.BUS_ERROR
+        assert excinfo.value.pc == 0x1234
+
+
+class TestStepLimitStats:
+    LOOP = """
+    main:
+        set r3, cell
+    loop:
+        ldl r2, 0(r3)
+        stl r2, 0(r3)
+        jmp loop
+        nop
+    .data
+    cell: .word 0
+    """
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_risc_stats_synced_and_attached(self, engine):
+        cpu = risc_cpu(self.LOOP)
+        with pytest.raises(StepLimitExceeded) as excinfo:
+            cpu.run(max_steps=1_000, engine=engine)
+        exc = excinfo.value
+        assert exc.stats is cpu.stats
+        assert exc.stats.instructions == 1_000
+        # memory traffic was folded into the stats before the raise
+        assert exc.stats.data_reads == cpu.memory.stats.data_reads > 0
+        assert exc.stats.data_writes == cpu.memory.stats.data_writes > 0
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_vax_stats_attached(self, engine):
+        program = compile_program(
+            ALL_WORKLOADS["towers"].source(), target="cisc"
+        ).program
+        cpu = VaxCPU()
+        cpu.load(program)
+        with pytest.raises(StepLimitExceeded) as excinfo:
+            cpu.run(max_steps=100, engine=engine)
+        assert excinfo.value.stats is cpu.stats
+        assert excinfo.value.stats.instructions == 100
+
+
+class TestPutpswCwp:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_mismatched_cwp_traps(self, engine):
+        cpu = risc_cpu(
+            """
+            main:
+                getpsw r2
+                xor r2, r2, #0x100    ; flip a CWP bit
+                putpsw r2
+                halt r0
+            """
+        )
+        with pytest.raises(Trap) as excinfo:
+            cpu.run(max_steps=100, engine=engine)
+        assert excinfo.value.kind is TrapKind.ILLEGAL_INSTRUCTION
+        assert "CWP" in excinfo.value.detail
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_round_trip_in_interrupt_handler(self, engine):
+        """GETPSW/PUTPSW in a handler: same window, so the restore holds.
+
+        The handler runs one window deeper than main (the delivery rotated
+        CWP), saves the PSW, clobbers the condition codes, restores the
+        saved word, and returns — the interrupted comparison loop must
+        still take its conditional jumps correctly.
+        """
+        program = assemble(
+            """
+            main:
+                add r2, r0, #0
+            loop:
+                add r2, r2, #1
+                cmp r2, #50
+                jne loop
+                nop
+                halt r2
+
+            handler:
+                getpsw r16            ; PSW of the handler's own window
+                cmp r0, #1            ; clobber the condition codes
+                putpsw r16            ; restore — CWP matches, no trap
+                retint r26, #0
+                nop
+            """
+        )
+        cpu = CPU()
+        cpu.load(program)
+        handler = program.symbol("handler")
+        count = [0]
+
+        def hook(pc, inst):
+            count[0] += 1
+            if count[0] == 10:
+                cpu.raise_interrupt(handler)
+
+        cpu.on_execute = hook
+        result = cpu.run(max_steps=10_000, engine=engine)
+        assert result.exit_code == 50
+        assert cpu.interrupts_taken == 1
