@@ -3,11 +3,23 @@
 ``REPRO_SCALE=bench`` switches every harness to the paper-scale workload
 parameters (slower); the default keeps CI-friendly sizes.  Ratios and
 qualitative outcomes are stable across scales.
+
+Every ``BENCH_*.json`` goes through :func:`write_bench_json`, which
+stamps ``schema_version``, git sha, host and toolchain fingerprints —
+the same stamp ledger records carry — so bench files are joinable with
+``.repro-ledger`` records.  The autouse session fixture tags any machine
+run recorded during a bench session (``$REPRO_LEDGER`` opt-in) with
+``source="bench"``.
 """
 
+import json
 import os
+import pathlib
 
 import pytest
+
+#: Bump on any backwards-incompatible BENCH_*.json envelope change.
+BENCH_SCHEMA_VERSION = 1
 
 
 @pytest.fixture(scope="session")
@@ -18,3 +30,33 @@ def scale() -> str:
 def once(benchmark, fn, *args, **kwargs):
     """Run a heavyweight simulation exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_bench_json(path, payload: dict) -> dict:
+    """Write one ``BENCH_*.json``, stamped to be joinable with the ledger.
+
+    The stamp (``schema_version``, ``git_sha``, ``host``, ``toolchain``)
+    is spread first so a harness cannot accidentally shadow its own
+    results — the payload's keys win on collision.
+    """
+    from repro.obs.ledger import environment_stamp
+
+    document = {"schema_version": BENCH_SCHEMA_VERSION, **environment_stamp(), **payload}
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return document
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """The shared stamped-JSON writer, as a fixture."""
+    return write_bench_json
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _bench_ledger_source():
+    """Tag ledger records appended during a bench session as bench runs."""
+    from repro.obs.ledger import ledger_context
+
+    with ledger_context(source="bench"):
+        yield

@@ -1,0 +1,51 @@
+"""Regenerate the checked-in seed ledger (``records.jsonl``).
+
+The seed pins the *architectural* ground truth for the CI
+``ledger-regressions`` job: one record per seed workload with the full
+stats a correct simulator must reproduce — on any host, under either
+engine.  CI copies the seed into a fresh ledger root, appends live runs,
+and ``obs ledger diff`` between a live run and its seed record must be
+clean.
+
+Timing fields are deliberately nulled (a checked-in steps/s from one
+machine would poison the rolling regression baseline on every other
+machine), and so are the host/git stamps, which would otherwise churn on
+every regeneration.  Rerun after any toolchain change that legitimately
+shifts the stats:
+
+    PYTHONPATH=src python benchmarks/ledger_seed/regenerate.py
+"""
+
+from pathlib import Path
+
+SEED_WORKLOADS = ("towers:10", "qsort")
+
+
+def main() -> None:
+    from repro.cc.driver import compile_program, run_compiled
+    from repro.obs.ledger import Ledger, make_record
+    from repro.workloads import ALL_WORKLOADS, parse_workload_spec
+
+    root = Path(__file__).parent
+    records_path = root / "records.jsonl"
+    records_path.unlink(missing_ok=True)
+    (root / "index.jsonl").unlink(missing_ok=True)
+    ledger = Ledger(root)
+    for spec in SEED_WORKLOADS:
+        name, overrides = parse_workload_spec(spec)
+        compiled = compile_program(
+            ALL_WORKLOADS[name].source(**overrides), filename=f"{name}.c"
+        )
+        result = run_compiled(compiled, engine="fast")
+        record = make_record(result, engine="fast", workload=spec, scale="default", source="seed")
+        record["timestamp"] = 0.0
+        record["host"] = {}
+        record["git_sha"] = None
+        del record["run_id"]  # recomputed by append() over the final content
+        run_id = ledger.append(record)
+        print(f"{spec}: {result.instructions} instructions, seed record {run_id}")
+    (root / "index.jsonl").unlink(missing_ok=True)  # records.jsonl is the truth
+
+
+if __name__ == "__main__":
+    main()

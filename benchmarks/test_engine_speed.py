@@ -17,7 +17,6 @@ CI compares ``BENCH_speed.json`` against the committed
 """
 
 import json
-import pathlib
 import time
 
 from repro.cc.driver import compile_program
@@ -43,14 +42,17 @@ def _steps_per_s(program, engine, traced):
     return best
 
 
-def test_engine_speed(scale, capsys):
+def test_engine_speed(scale, capsys, bench_json):
+    from repro.obs.ledger import ledger_context
+
     results = {"scale": scale, "repeats": REPEATS, "workloads": {}}
     for name in WORKLOADS:
         program = compile_program(workload_source(name, scale)).program
-        reference = _steps_per_s(program, "reference", traced=False)
-        fast = _steps_per_s(program, "fast", traced=False)
-        reference_traced = _steps_per_s(program, "reference", traced=True)
-        fast_traced = _steps_per_s(program, "fast", traced=True)
+        with ledger_context(workload=name, scale=scale):
+            reference = _steps_per_s(program, "reference", traced=False)
+            fast = _steps_per_s(program, "fast", traced=False)
+            reference_traced = _steps_per_s(program, "reference", traced=True)
+            fast_traced = _steps_per_s(program, "fast", traced=True)
         results["workloads"][name] = {
             "reference_steps_per_s": round(reference),
             "fast_steps_per_s": round(fast),
@@ -60,7 +62,7 @@ def test_engine_speed(scale, capsys):
             "traced_speedup": round(fast_traced / reference_traced, 2),
         }
 
-    pathlib.Path("BENCH_speed.json").write_text(json.dumps(results, indent=2) + "\n")
+    bench_json("BENCH_speed.json", results)
     with capsys.disabled():
         print("\n" + json.dumps(results, indent=2))
 

@@ -7,7 +7,6 @@ regressions show up as numbers, not vibes.
 """
 
 import json
-import pathlib
 
 from conftest import once
 
@@ -30,7 +29,7 @@ def _sweep(cache_root, workers, scale):
     return report
 
 
-def test_farm_throughput(benchmark, scale, tmp_path, capsys):
+def test_farm_throughput(benchmark, scale, tmp_path, capsys, bench_json):
     serial_root = tmp_path / "serial"
     parallel_root = tmp_path / "parallel"
 
@@ -59,6 +58,6 @@ def test_farm_throughput(benchmark, scale, tmp_path, capsys):
             cold_serial.wall_s / max(cold_parallel.wall_s, 1e-9), 2
         ),
     }
-    pathlib.Path("BENCH_farm.json").write_text(json.dumps(results, indent=2) + "\n")
+    bench_json("BENCH_farm.json", results)
     with capsys.disabled():
         print("\n" + json.dumps(results, indent=2))

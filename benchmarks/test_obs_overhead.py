@@ -9,7 +9,6 @@ loop.
 """
 
 import json
-import pathlib
 import time
 
 from repro.cc.driver import compile_program
@@ -34,7 +33,7 @@ def _steps_per_s(program, make_tracer):
     return best
 
 
-def test_obs_overhead(scale, capsys):
+def test_obs_overhead(scale, capsys, bench_json):
     program = compile_program(workload_source(WORKLOAD, scale)).program
 
     baseline = _steps_per_s(program, lambda: None)
@@ -57,7 +56,7 @@ def test_obs_overhead(scale, capsys):
         "flow_overhead_pct": pct(flow),
         "full_overhead_pct": pct(full),
     }
-    pathlib.Path("BENCH_obs.json").write_text(json.dumps(results, indent=2) + "\n")
+    bench_json("BENCH_obs.json", results)
     with capsys.disabled():
         print("\n" + json.dumps(results, indent=2))
 

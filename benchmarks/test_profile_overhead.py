@@ -11,7 +11,6 @@ emits ``BENCH_profile.json``.  Two numbers matter:
 """
 
 import json
-import pathlib
 import time
 
 from repro.cc.driver import compile_program, run_compiled
@@ -34,7 +33,7 @@ def _steps_per_s(compiled, make_tracer):
     return best
 
 
-def test_profile_overhead(scale, capsys):
+def test_profile_overhead(scale, capsys, bench_json):
     results = {"workload": WORKLOAD, "scale": scale, "repeats": REPEATS}
     for target in ("risc1", "cisc"):
         compiled = compile_program(
@@ -51,7 +50,7 @@ def test_profile_overhead(scale, capsys):
             "profiling_overhead_pct": round((off - on) / off * 100.0, 2),
         }
 
-    pathlib.Path("BENCH_profile.json").write_text(json.dumps(results, indent=2) + "\n")
+    bench_json("BENCH_profile.json", results)
     with capsys.disabled():
         print("\n" + json.dumps(results, indent=2))
 

@@ -222,6 +222,7 @@ class VaxCPU:
         max_steps: int | None = None,
         tracer=None,
         engine: str | None = None,
+        record=None,
     ) -> RunResult:
         """Run until the program halts.
 
@@ -230,25 +231,42 @@ class VaxCPU:
         deprecated spelling of ``max_steps``.  ``engine`` selects the
         execution path — ``"fast"`` (default) uses the per-PC operand
         decode cache, ``"reference"`` re-parses every instruction; both
-        are differentially identical.
+        are differentially identical.  ``record`` opts this run into the
+        persistent run ledger (``True``, a ledger root path, or a
+        :class:`~repro.obs.ledger.Ledger`); ``None`` defers to
+        ``$REPRO_LEDGER``.
         """
+        import time as _time
+
         limit = resolve_max_steps(max_instructions, max_steps)
         if tracer is not None:
             self._install_tracer(tracer)
         use_cache_before = self._use_cache
         # ``decode_cache=False`` at construction is a hard off-switch;
         # otherwise the engine selection decides
-        self._use_cache = use_cache_before and resolve_engine(engine) == "fast"
+        engine_name = resolve_engine(engine)
+        self._use_cache = use_cache_before and engine_name == "fast"
+        started = _time.perf_counter()
         try:
             for _ in range(limit):
                 self.step()
             raise StepLimitExceeded(limit, pc=self.pc, stats=self.stats)
         except _Halt as halt:
+            wall_s = _time.perf_counter() - started
             result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
             if self.metrics is not None:
                 from repro.obs.metrics import record_machine_run
 
                 record_machine_run(self.metrics, result)
+            from repro.obs.ledger import maybe_record_run
+
+            maybe_record_run(
+                result,
+                engine=engine_name,
+                wall_s=wall_s,
+                record=record,
+                metrics=self.metrics,
+            )
             return result
         finally:
             self._use_cache = use_cache_before

@@ -128,6 +128,7 @@ def run_compiled(
     tracer=None,
     metrics=None,
     engine: str | None = None,
+    record=None,
 ):
     """Execute a compiled program on its target's simulator.
 
@@ -135,6 +136,8 @@ def run_compiled(
     target; ``tracer``/``metrics`` are handed to the machine.  ``engine``
     picks the execution path (``None`` defers to ``$REPRO_ENGINE``, then
     the fast default); both engines are differentially identical.
+    ``record`` opts the run into the persistent run ledger (``None``
+    defers to ``$REPRO_LEDGER``; see :mod:`repro.obs.ledger`).
     """
     if compiled.target == "risc1":
         from repro.core.cpu import CPU
@@ -145,4 +148,4 @@ def run_compiled(
 
         cpu = VaxCPU(tracer=tracer, metrics=metrics)
     cpu.load(compiled.program)
-    return cpu.run(max_instructions, max_steps=max_steps, engine=engine)
+    return cpu.run(max_instructions, max_steps=max_steps, engine=engine, record=record)

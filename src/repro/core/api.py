@@ -226,11 +226,15 @@ class Machine(Protocol):
         max_steps: int | None = None,
         tracer=None,
         engine: str | None = None,
+        record=None,
     ) -> RunResult:
         """Run to halt (or raise :class:`StepLimitExceeded`).
 
         ``engine`` picks the execution path (see :data:`VALID_ENGINES`);
         ``None`` defers to ``$REPRO_ENGINE`` / :data:`DEFAULT_ENGINE`.
+        ``record`` opts the finished run into the persistent run ledger
+        (see :mod:`repro.obs.ledger`); ``None`` defers to
+        ``$REPRO_LEDGER``.
         """
         ...
 

@@ -34,6 +34,15 @@ def main(argv: list[str] | None = None) -> int:
         help="execution engine (default: fast; reference is the plain "
         "step() loop the fast path is differentially tested against)",
     )
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="append this run to the persistent run ledger "
+        "(default root .repro-ledger, or PATH; $REPRO_LEDGER also enables)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.source) as handle:
@@ -56,7 +65,16 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         result = trace.result
     else:
-        result = cpu.run(max_instructions=args.max_instructions, engine=args.engine)
+        from pathlib import Path
+
+        from repro.obs.ledger import ledger_context
+
+        with ledger_context(workload=Path(args.source).name, source="cli"):
+            result = cpu.run(
+                max_instructions=args.max_instructions,
+                engine=args.engine,
+                record=args.ledger,
+            )
     sys.stdout.write(result.output)
     if args.stats:
         print(file=sys.stderr)

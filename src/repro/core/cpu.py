@@ -199,6 +199,7 @@ class CPU:
         max_steps: int | None = None,
         tracer=None,
         engine: str | None = None,
+        record=None,
     ) -> RunResult:
         """Run until the program halts.
 
@@ -208,12 +209,18 @@ class CPU:
         installed for this run (and stays).  ``engine`` selects the
         execution path — ``"fast"`` (default, the predecoded engine of
         :mod:`repro.core.engine`) or ``"reference"`` (the plain ``step()``
-        loop); both are differentially identical.
+        loop); both are differentially identical.  ``record`` opts this
+        run into the persistent run ledger (``True``, a ledger root path,
+        or a :class:`~repro.obs.ledger.Ledger`); ``None`` defers to
+        ``$REPRO_LEDGER``.
         """
+        import time as _time
+
         limit = resolve_max_steps(max_instructions, max_steps)
         if tracer is not None:
             self._install_tracer(tracer)
         engine_name = resolve_engine(engine)
+        started = _time.perf_counter()
         try:
             if engine_name == "fast" and self._program is not None:
                 from repro.core.engine import PredecodedEngine
@@ -225,12 +232,22 @@ class CPU:
             self._sync_memory_stats()
             raise StepLimitExceeded(limit, pc=self.pc, stats=self.stats)
         except _Halt as halt:
+            wall_s = _time.perf_counter() - started
             self._sync_memory_stats()
             result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
             if self.metrics is not None:
                 from repro.obs.metrics import record_machine_run
 
                 record_machine_run(self.metrics, result)
+            from repro.obs.ledger import maybe_record_run
+
+            maybe_record_run(
+                result,
+                engine=engine_name,
+                wall_s=wall_s,
+                record=record,
+                metrics=self.metrics,
+            )
             return result
 
     def raise_interrupt(self, vector: int) -> None:

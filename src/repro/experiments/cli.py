@@ -56,7 +56,10 @@ def _write_trace(path: str, spec: str) -> None:
     tracer = Tracer(capacity=1 << 18, kinds=FLOW_KINDS, cycle_ns=RISC_CYCLE_NS)
     cpu = CPU(tracer=tracer)
     cpu.load(program.program)
-    result = cpu.run(max_steps=500_000_000)
+    from repro.obs.ledger import ledger_context
+
+    with ledger_context(workload=spec, source="experiments"):
+        result = cpu.run(max_steps=500_000_000)
     write_chrome_trace(list(cc_tracer.events) + list(tracer.events), path)
     print(
         f"[trace: {spec} on risc1 — {result.cycles} cycles, "
@@ -163,11 +166,26 @@ def main(argv: list[str] | None = None) -> int:
         help="print the aggregated run-metrics registry after the experiments",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="also write the aggregated metrics registry as JSON to PATH "
+        "(implies --metrics)",
+    )
+    parser.add_argument(
         "--engine",
         choices=("fast", "reference"),
         help="execution engine for every simulated run (default: fast; "
         "both are differentially identical, reference is the plain "
         "step() loop)",
+    )
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="append every simulated run to the persistent run ledger "
+        "(default root .repro-ledger, or PATH; reaches farm workers too)",
     )
     args = parser.parse_args(argv)
 
@@ -175,6 +193,10 @@ def main(argv: list[str] | None = None) -> int:
         # exported (rather than threaded through every call) so the farm's
         # worker processes and the lru-cached run helpers all see it
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.ledger:
+        # same export: the ledger opt-in must reach worker processes and
+        # every nested run() without threading a parameter everywhere
+        os.environ["REPRO_LEDGER"] = "1" if args.ledger is True else str(args.ledger)
 
     if args.list:
         for key, (_, description) in EXPERIMENTS.items():
@@ -200,7 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         _prewarm(args.scale, args.jobs)
 
     registry = None
-    if args.metrics:
+    if args.metrics or args.metrics_out:
         from repro.experiments import common
 
         registry = common.enable_metrics()
@@ -231,7 +253,18 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(documents, indent=2, sort_keys=True))
 
     if registry is not None:
-        print(registry.render(), file=sys.stderr)
+        if args.metrics:
+            print(registry.render(), file=sys.stderr)
+        if args.metrics_out:
+            from pathlib import Path
+
+            out = Path(args.metrics_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(
+                json.dumps(registry.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"[metrics: {len(registry)} series -> {out}]", file=sys.stderr)
     if args.trace:
         _write_trace(args.trace, args.trace_workload)
     if args.profile:

@@ -24,6 +24,7 @@ from repro.cc.irvm import IRResult
 from repro.core.cpu import CPU
 from repro.farm import runner as farm_runner
 from repro.farm.jobs import workload_source
+from repro.obs.ledger import ledger_context
 from repro.obs.metrics import MetricsRegistry, record_machine_run
 from repro.workloads import ALL_WORKLOADS
 
@@ -103,7 +104,8 @@ def profiled(spec: str, target: str = "risc1"):
     name, overrides = parse_workload_spec(spec)
     source = ALL_WORKLOADS[name].source(**overrides)
     compiled_program = compile_program(source, target=target, filename=f"{name}.c")
-    return profile_run(compiled_program, max_steps=500_000_000, workload=spec)
+    with ledger_context(workload=spec, source="experiments"):
+        return profile_run(compiled_program, max_steps=500_000_000, workload=spec)
 
 
 @functools.lru_cache(maxsize=None)
@@ -116,7 +118,8 @@ def traced_run(name: str, scale: str = "default", num_windows: int = 8):
     program = compiled(name, "risc1", scale)
     cpu = CPU(num_windows=num_windows, trace_calls=True)
     cpu.load(program.program)
-    result = cpu.run(max_steps=500_000_000)
+    with ledger_context(workload=name, scale=scale, source="experiments"):
+        result = cpu.run(max_steps=500_000_000)
     return cpu, result
 
 

@@ -21,12 +21,18 @@ from repro.workloads import ALL_WORKLOADS
 
 
 def _cmd_run(args) -> int:
-    if args.engine:
-        import os
+    import os
 
+    if args.engine:
         # the environment propagates to spawned worker processes, so every
         # simulated run in the sweep uses the requested engine
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.ledger:
+        # same propagation trick: workers see $REPRO_LEDGER and append
+        # their own records, so a parallel sweep still lands in one ledger
+        os.environ["REPRO_LEDGER"] = (
+            "1" if args.ledger is True else str(args.ledger)
+        )
     workloads = args.workloads or None
     if workloads:
         unknown = [name for name in workloads if name not in ALL_WORKLOADS]
@@ -141,6 +147,15 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--format", choices=("text", "json"), default="text")
     run_parser.add_argument(
         "--trace", metavar="PATH", help="write a Chrome trace of the sweep's job timeline"
+    )
+    run_parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="append every computed execution job to the persistent run "
+        "ledger (default root .repro-ledger, or PATH)",
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -116,7 +116,13 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
         # it reaches worker processes) is deliberately NOT part of the
         # cache key: both engines are differentially identical, so their
         # results are interchangeable artifacts
-        value = run_compiled(program, max_steps=limit)
+        from repro.obs.ledger import ledger_context
+
+        # a cache hit never re-simulates, so only computed execute jobs
+        # reach the machines' $REPRO_LEDGER hook — exactly the runs whose
+        # wall time means something
+        with ledger_context(workload=job.workload, scale=job.scale, source="farm"):
+            value = run_compiled(program, max_steps=limit)
     _verify(job, value.output)
     if cache is not None:
         cache.store_json(job.key, {"type": tag, "result": value.to_dict()})

@@ -19,11 +19,17 @@ resolves PCs through the toolchain's line tables, :class:`ProfileBuilder`
 flamegraphs, call graphs and per-C-line annotation, and
 ``python -m repro.obs profile`` reports them.
 
+And the **run ledger** (:mod:`repro.obs.ledger`) — a persistent,
+append-only flight recorder every ``run()`` can opt into (``record=`` or
+``$REPRO_LEDGER``); ``python -m repro.obs ledger`` lists, diffs and
+regression-checks the recorded runs.
+
 See ``docs/OBSERVABILITY.md`` for the event schema and overhead numbers.
 """
 
 from repro.obs.events import FLOW_KINDS, PROFILE_KINDS, SIM_KINDS, Event, EventKind
 from repro.obs.exporters import read_jsonl, to_chrome, write_chrome_trace, write_jsonl
+from repro.obs.ledger import Ledger, diff_records, find_regressions, ledger_context
 from repro.obs.metrics import (
     DEFAULT_CYCLE_BUCKETS,
     Counter,
@@ -51,6 +57,7 @@ __all__ = [
     "FLOW_KINDS",
     "Gauge",
     "Histogram",
+    "Ledger",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -61,6 +68,9 @@ __all__ = [
     "SIM_KINDS",
     "Symbolizer",
     "Tracer",
+    "diff_records",
+    "find_regressions",
+    "ledger_context",
     "profile_events",
     "profile_run",
     "read_jsonl",

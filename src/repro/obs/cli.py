@@ -8,6 +8,9 @@ Subcommands::
     profile    run a workload under the profiler and print hotspots,
                a collapsed-stack flamegraph, annotated C source or the
                call graph
+    ledger     the persistent run ledger: list/show recorded runs,
+               record a fresh one, diff two records field-by-field,
+               detect throughput regressions, export, and gc
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.obs.events import EventKind
@@ -24,12 +28,15 @@ from repro.obs.exporters import scan_jsonl, write_chrome_trace
 def _load(path: str):
     """Read a trace for a CLI command; returns None (after a clear
     diagnostic on stderr) for missing, empty, binary or non-JSONL input
-    instead of tracebacking or silently processing nothing."""
+    instead of tracebacking or silently processing nothing.  Returns
+    ``(events, meta)`` on success; a trace whose writing tracer dropped
+    events (ring-buffer overflow) warns loudly here, once, for every
+    subcommand."""
     if not Path(path).is_file():
         print(f"error: {path}: no such trace file", file=sys.stderr)
         return None
     try:
-        events, skipped = scan_jsonl(path)
+        events, skipped, meta = scan_jsonl(path)
     except UnicodeDecodeError:
         print(f"error: {path}: binary data — not a JSONL trace", file=sys.stderr)
         return None
@@ -52,13 +59,21 @@ def _load(path: str):
             "(truncated or interleaved write?)",
             file=sys.stderr,
         )
-    return events
+    if meta.get("dropped"):
+        print(
+            f"warning: {path}: TRUNCATED trace — the ring buffer dropped "
+            f"{meta['dropped']} event(s) before export; counts and spans "
+            "below understate the run",
+            file=sys.stderr,
+        )
+    return events, meta
 
 
 def _cmd_view(args) -> int:
-    events = _load(args.trace)
-    if events is None:
+    loaded = _load(args.trace)
+    if loaded is None:
         return 1
+    events, _meta = loaded
     kinds = {EventKind(k) for k in args.kind} if args.kind else None
     shown = 0
     for event in events:
@@ -75,9 +90,10 @@ def _cmd_view(args) -> int:
 
 
 def _cmd_summarize(args) -> int:
-    events = _load(args.trace)
-    if events is None:
+    loaded = _load(args.trace)
+    if loaded is None:
         return 1
+    events, meta = loaded
     counts: dict[str, int] = {}
     max_depth = 0
     spilled_windows = 0
@@ -88,8 +104,10 @@ def _cmd_summarize(args) -> int:
         if event.kind is EventKind.WINDOW_OVERFLOW:
             spilled_windows += event.data.get("windows", 1)
     span_us = events[-1].ts - events[0].ts
+    truncated = int(meta.get("dropped", 0))
     summary = {
         "events": len(events),
+        "truncated": truncated,
         "span_us": round(span_us, 3),
         "by_kind": dict(sorted(counts.items())),
         "max_depth_seen": max_depth,
@@ -99,6 +117,8 @@ def _cmd_summarize(args) -> int:
         print(json.dumps(summary, indent=2, sort_keys=True))
         return 0
     print(f"events        : {summary['events']}")
+    if truncated:
+        print(f"truncated     : {truncated} (events dropped by the ring buffer)")
     print(f"span          : {span_us / 1000.0:.3f} ms (trace timeline)")
     for kind, count in summary["by_kind"].items():
         print(f"  {kind:<14}: {count}")
@@ -110,9 +130,10 @@ def _cmd_summarize(args) -> int:
 
 
 def _cmd_convert(args) -> int:
-    events = _load(args.trace)
-    if events is None:
+    loaded = _load(args.trace)
+    if loaded is None:
         return 1
+    events, _meta = loaded
     records = write_chrome_trace(events, args.output)
     print(f"wrote {records} trace records to {args.output}", file=sys.stderr)
     return 0
@@ -133,6 +154,14 @@ def _cmd_profile(args) -> int:
     source = ALL_WORKLOADS[name].source(**overrides)
     compiled = compile_program(source, target=args.target, filename=f"{name}.c")
     profile, _result = profile_run(compiled, workload=args.workload)
+    if profile.truncated or profile.counters.get("truncated_rets"):
+        print(
+            f"warning: profile of {args.workload} is TRUNCATED "
+            f"({profile.truncated} event(s) dropped, "
+            f"{profile.counters.get('truncated_rets', 0)} unmatched return(s)) — "
+            "figures understate the run",
+            file=sys.stderr,
+        )
     if args.what == "report":
         text = profile.report(top=args.top)
     elif args.what == "flame":
@@ -148,6 +177,197 @@ def _cmd_profile(args) -> int:
         print(f"wrote {args.what} for {args.workload} ({args.target}) to {path}", file=sys.stderr)
     else:
         sys.stdout.write(text)
+    return 0
+
+
+# -- the run ledger ----------------------------------------------------------
+
+
+def _open_ledger(args):
+    from repro.obs.ledger import Ledger
+
+    return Ledger(args.dir) if args.dir else Ledger()
+
+
+def _select(ledger, selector: str):
+    """Resolve a run-id prefix / negative index, CLI-style (None on error)."""
+    try:
+        return ledger.get(selector)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_ledger_list(args) -> int:
+    ledger = _open_ledger(args)
+    rows = ledger.index()
+    for field in ("workload", "machine", "engine", "source"):
+        wanted = getattr(args, field)
+        if wanted:
+            rows = [r for r in rows if r.get(field) == wanted]
+    if args.limit is not None:
+        rows = rows[-args.limit :]
+    if args.format == "json":
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print(f"(no ledger records under {ledger.root})", file=sys.stderr)
+        return 0
+    print(
+        f"{'run id':<16} {'when':<19} {'source':<11} {'workload':<18} "
+        f"{'machine':<7} {'engine':<9} {'steps/s':>12}"
+    )
+    for row in rows:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(row.get("timestamp") or 0)
+        )
+        sps = row.get("steps_per_s")
+        print(
+            f"{str(row.get('run_id', '?')):<16} {when:<19} "
+            f"{str(row.get('source') or '-'):<11} {str(row.get('workload') or '-'):<18} "
+            f"{str(row.get('machine') or '-'):<7} {str(row.get('engine') or '-'):<9} "
+            + (f"{sps:>12,.0f}" if sps else f"{'-':>12}")
+        )
+    return 0
+
+
+def _cmd_ledger_show(args) -> int:
+    record = _select(_open_ledger(args), args.run)
+    if record is None:
+        return 1
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_ledger_record(args) -> int:
+    # imports deferred: ledger bookkeeping must not pay for the
+    # compiler/simulator import graph
+    from repro.cc.driver import compile_program, run_compiled
+    from repro.obs.ledger import ledger_context
+    from repro.workloads import ALL_WORKLOADS, parse_workload_spec
+
+    ledger = _open_ledger(args)
+    try:
+        name, overrides = parse_workload_spec(args.workload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = dict(ALL_WORKLOADS[name].bench_params) if args.scale == "bench" else {}
+    params.update(overrides)
+    compiled = compile_program(
+        ALL_WORKLOADS[name].source(**params), target=args.target, filename=f"{name}.c"
+    )
+    with ledger_context(workload=args.workload, scale=args.scale, source="cli"):
+        result = run_compiled(
+            compiled, max_steps=args.max_steps, engine=args.engine, record=ledger
+        )
+    run_id = ledger.index()[-1]["run_id"]
+    print(
+        f"[{args.workload} on {args.target} ({args.engine or 'default'} engine): "
+        f"{result.instructions} instructions, exit {result.exit_code}]",
+        file=sys.stderr,
+    )
+    print(run_id)
+    return 0
+
+
+def _cmd_ledger_diff(args) -> int:
+    from repro.obs.ledger import diff_records
+
+    ledger = _open_ledger(args)
+    a = _select(ledger, args.a)
+    b = _select(ledger, args.b) if a is not None else None
+    if a is None or b is None:
+        return 2
+    diff = diff_records(a, b)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "a": diff.a,
+                    "b": diff.b,
+                    "clean": diff.clean,
+                    "diverged": {k: list(v) for k, v in diff.diverged.items()},
+                    "informational": {
+                        k: [str(x) for x in v] for k, v in diff.informational.items()
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        sys.stdout.write(diff.render())
+    return 0 if diff.clean else 1
+
+
+def _cmd_ledger_regressions(args) -> int:
+    from repro.obs.ledger import find_regressions
+
+    ledger = _open_ledger(args)
+    regressions = find_regressions(
+        ledger.records(),
+        threshold_pct=args.threshold,
+        window=args.window,
+        latest_only=not args.all,
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "workload": r.group[0],
+                        "scale": r.group[1],
+                        "machine": r.group[2],
+                        "engine": r.group[3],
+                        "run_id": r.run_id,
+                        "steps_per_s": r.steps_per_s,
+                        "baseline": r.baseline,
+                        "drop_pct": round(r.drop_pct, 2),
+                        "samples": r.samples,
+                    }
+                    for r in regressions
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif not regressions:
+        print(
+            f"no regressions beyond {args.threshold:g}% across "
+            f"{len(ledger.records())} record(s)"
+        )
+    else:
+        for regression in regressions:
+            print(regression.render())
+    return 1 if regressions else 0
+
+
+def _cmd_ledger_export(args) -> int:
+    ledger = _open_ledger(args)
+    records = ledger.records()
+    if args.format == "jsonl":
+        text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    else:
+        text = json.dumps(records, indent=2, sort_keys=True) + "\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(f"exported {len(records)} record(s) to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_ledger_gc(args) -> int:
+    ledger = _open_ledger(args)
+    try:
+        dropped = ledger.gc(keep=args.keep)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"dropped {dropped} record(s); kept {len(ledger.records())}")
     return 0
 
 
@@ -196,6 +416,96 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument("--top", type=int, default=20, help="rows to show (report/callgraph)")
     profile.add_argument("-o", "--output", help="write to a file instead of stdout")
     profile.set_defaults(func=_cmd_profile)
+
+    ledger = sub.add_parser(
+        "ledger", help="the persistent run ledger (flight recorder)"
+    )
+    ledger.add_argument(
+        "--dir",
+        metavar="PATH",
+        help="ledger root (default: $REPRO_LEDGER or .repro-ledger)",
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+
+    ledger_list = ledger_sub.add_parser("list", help="list recorded runs")
+    ledger_list.add_argument("--workload", help="only this workload spec")
+    ledger_list.add_argument("--machine", help="only this machine tag")
+    ledger_list.add_argument("--engine", help="only this engine")
+    ledger_list.add_argument("--source", help="only this record source")
+    ledger_list.add_argument("--limit", type=int, help="newest N records")
+    ledger_list.add_argument("--format", choices=("text", "json"), default="text")
+    ledger_list.set_defaults(func=_cmd_ledger_list)
+
+    ledger_show = ledger_sub.add_parser("show", help="print one full record")
+    ledger_show.add_argument("run", help="run-id prefix, or -1 for the latest")
+    ledger_show.set_defaults(func=_cmd_ledger_show)
+
+    ledger_record = ledger_sub.add_parser(
+        "record", help="run a workload and append its record"
+    )
+    ledger_record.add_argument(
+        "--workload",
+        required=True,
+        metavar="NAME[:ARG]",
+        help="workload spec, e.g. towers:10 or qsort",
+    )
+    ledger_record.add_argument("--target", choices=("risc1", "cisc"), default="risc1")
+    ledger_record.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        help="execution engine (default: $REPRO_ENGINE or fast)",
+    )
+    ledger_record.add_argument(
+        "--scale", choices=("default", "bench"), default="default"
+    )
+    ledger_record.add_argument(
+        "--max-steps", type=int, default=500_000_000, help="step budget"
+    )
+    ledger_record.set_defaults(func=_cmd_ledger_record)
+
+    ledger_diff = ledger_sub.add_parser(
+        "diff", help="field-by-field comparison of two records"
+    )
+    ledger_diff.add_argument("a", help="run-id prefix or negative index (-2, -1, ...)")
+    ledger_diff.add_argument("b", help="run-id prefix or negative index")
+    ledger_diff.add_argument("--format", choices=("text", "json"), default="text")
+    ledger_diff.set_defaults(func=_cmd_ledger_diff)
+
+    ledger_reg = ledger_sub.add_parser(
+        "regressions", help="flag throughput drops against each trajectory's baseline"
+    )
+    ledger_reg.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="flag steps/s drops beyond this percentage (default 20)",
+    )
+    ledger_reg.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="rolling-baseline window: median of up to N prior runs (default 5)",
+    )
+    ledger_reg.add_argument(
+        "--all",
+        action="store_true",
+        help="audit every run in every trajectory, not just the newest",
+    )
+    ledger_reg.add_argument("--format", choices=("text", "json"), default="text")
+    ledger_reg.set_defaults(func=_cmd_ledger_regressions)
+
+    ledger_export = ledger_sub.add_parser("export", help="dump all records")
+    ledger_export.add_argument("output", help="output path, or - for stdout")
+    ledger_export.add_argument("--format", choices=("json", "jsonl"), default="json")
+    ledger_export.set_defaults(func=_cmd_ledger_export)
+
+    ledger_gc = ledger_sub.add_parser(
+        "gc", help="keep only the newest N records per trajectory"
+    )
+    ledger_gc.add_argument("--keep", type=int, required=True, metavar="N")
+    ledger_gc.set_defaults(func=_cmd_ledger_gc)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -45,12 +45,24 @@ _PROCESS_NAMES = {
 # -- JSONL ------------------------------------------------------------------
 
 
-def write_jsonl(events: Iterable[Event], path: str | Path) -> int:
-    """Write events, one JSON object per line.  Returns the event count."""
+def write_jsonl(events: Iterable[Event], path: str | Path, dropped: int = 0) -> int:
+    """Write events, one JSON object per line.  Returns the event count.
+
+    ``events`` may be a :class:`~repro.obs.tracer.Tracer`, in which case
+    its buffer and its ``dropped`` count are both taken from it.  A
+    non-zero ``dropped`` (events evicted from the ring before export) is
+    recorded as a leading meta line so readers can warn that the trace is
+    truncated instead of silently summarizing a skewed buffer.
+    """
+    if hasattr(events, "events") and hasattr(events, "dropped"):  # a Tracer
+        dropped = events.dropped
+        events = events.events
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
     with path.open("w", encoding="utf-8") as handle:
+        if dropped:
+            handle.write(json.dumps({"meta": {"schema": 1, "dropped": dropped}}) + "\n")
         for event in events:
             handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
             count += 1
@@ -72,12 +84,14 @@ def read_jsonl(path: str | Path) -> list[Event]:
         return []
 
 
-def scan_jsonl(path: str | Path) -> tuple[list[Event], int]:
+def scan_jsonl(path: str | Path) -> tuple[list[Event], int, dict]:
     """Read a JSONL trace, reporting damage instead of hiding it.
 
-    Returns ``(events, skipped)`` where ``skipped`` counts non-empty lines
-    that did not parse as events (a truncated final line from an
-    interrupted write, or a file that is not a JSONL trace at all).
+    Returns ``(events, skipped, meta)``: ``skipped`` counts non-empty
+    lines that did not parse as events (a truncated final line from an
+    interrupted write, or a file that is not a JSONL trace at all);
+    ``meta`` is the trace's meta header if it carries one (notably
+    ``dropped`` — events the writing tracer's ring evicted), else ``{}``.
     Raises :class:`FileNotFoundError` for a missing file and
     :class:`UnicodeDecodeError` for binary content — callers that want
     the forgiving behavior use :func:`read_jsonl`.
@@ -85,15 +99,20 @@ def scan_jsonl(path: str | Path) -> tuple[list[Event], int]:
     text = Path(path).read_text(encoding="utf-8")
     events: list[Event] = []
     skipped = 0
+    meta: dict = {}
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
         try:
-            events.append(Event.from_dict(json.loads(line)))
+            payload = json.loads(line)
+            if isinstance(payload, dict) and "meta" in payload and "kind" not in payload:
+                meta.update(payload["meta"])
+                continue
+            events.append(Event.from_dict(payload))
         except (ValueError, KeyError, TypeError):
             skipped += 1
-    return events, skipped
+    return events, skipped, meta
 
 
 # -- Chrome trace_event -----------------------------------------------------

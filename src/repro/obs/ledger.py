@@ -1,0 +1,591 @@
+"""The run ledger: a persistent, append-only flight recorder.
+
+The paper's whole argument rests on *comparisons across runs* — RISC I
+against the VAX-like baseline on the same C benchmarks, overflow rates
+across window counts — yet a :class:`~repro.core.api.RunResult` is
+ephemeral.  The ledger makes every run durable: one schema-versioned
+JSONL record per run (workload, machine, engine, the full architectural
+stats, metrics, wall time, steps/s, toolchain stamp, git sha, host), so
+drift in correctness *or* speed is detected mechanically afterwards.
+
+Layout (default root ``.repro-ledger/``, override with ``$REPRO_LEDGER``)::
+
+    .repro-ledger/
+      records.jsonl   one JSON record per run, append-only
+      index.jsonl     one compact line per record (id, group, steps/s)
+
+Writes are crash-safe by construction: a record is a single buffered
+``write()`` of one line, flushed and fsynced before the index line is
+appended, and readers skip torn trailing lines.  The index is a pure
+cache — :meth:`Ledger.reindex` rebuilds it from ``records.jsonl``, and
+any index/record disagreement resolves in favour of the records file.
+
+Recording is **opt-in** and reaches every sink through one hook,
+:func:`maybe_record_run`, called by both machines' ``run()``:
+
+* pass ``record=`` to ``run()`` (``True`` for the default root, a path,
+  or a :class:`Ledger`), or
+* set ``$REPRO_LEDGER`` (``1`` for the default root, else a root path),
+  which also reaches farm worker processes.
+
+Higher layers that know more than the machine (the farm knows the
+workload and scale; the experiment harnesses know the spec) enrich the
+record through :func:`ledger_context` instead of threading metadata
+through every ``run()`` signature.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import functools
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "RunDiff",
+    "default_ledger_root",
+    "diff_records",
+    "environment_stamp",
+    "find_regressions",
+    "group_key",
+    "ledger_context",
+    "make_record",
+    "maybe_record_run",
+    "resolve_ledger",
+]
+
+#: Bump on any backwards-incompatible record change.
+LEDGER_SCHEMA_VERSION = 1
+
+#: ``$REPRO_LEDGER`` values meaning "off" (unset and empty also mean off).
+_OFF_VALUES = ("0", "off", "no", "false")
+
+#: ``$REPRO_LEDGER`` values meaning "on, default root".
+_ON_VALUES = ("1", "on", "yes", "true")
+
+
+def default_ledger_root() -> Path:
+    """``$REPRO_LEDGER`` if it names a path, else ``.repro-ledger`` under cwd."""
+    value = os.environ.get("REPRO_LEDGER", "")
+    if value and value.lower() not in _OFF_VALUES + _ON_VALUES:
+        return Path(value)
+    return Path(".repro-ledger")
+
+
+# -- environment stamping -----------------------------------------------------
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@functools.lru_cache(maxsize=1)
+def environment_stamp() -> dict:
+    """Where and with what a run happened: toolchain, git sha, host.
+
+    Cached per process — none of it changes mid-run.  The toolchain stamp
+    is the farm's per-module content fingerprint, so ledger records are
+    joinable with farm cache keys and ``BENCH_*.json`` files.
+    """
+    from repro.farm.jobs import toolchain_fingerprint
+
+    return {
+        "toolchain": dict(toolchain_fingerprint()),
+        "git_sha": _git_sha(),
+        "host": {
+            "hostname": socket.gethostname(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu": platform.machine(),
+        },
+    }
+
+
+# -- the record ---------------------------------------------------------------
+
+
+def make_record(
+    result,
+    *,
+    engine: str,
+    wall_s: float | None = None,
+    workload: str | None = None,
+    scale: str | None = None,
+    source: str = "api",
+    metrics: Any = None,
+) -> dict:
+    """Build one schema-versioned ledger record from a finished run.
+
+    ``result`` is a :class:`~repro.core.api.RunResult`; ``metrics`` an
+    optional :class:`~repro.obs.metrics.MetricsRegistry` (or a plain
+    dict already in its ``to_dict`` form).
+    """
+    steps_per_s = None
+    if wall_s and wall_s > 0:
+        steps_per_s = round(result.instructions / wall_s, 1)
+    if metrics is not None and hasattr(metrics, "to_dict"):
+        metrics = metrics.to_dict()
+    record = {
+        "schema": LEDGER_SCHEMA_VERSION,
+        "timestamp": round(time.time(), 3),
+        "source": source,
+        "workload": workload,
+        "scale": scale,
+        "machine": result.machine,
+        "engine": engine,
+        "exit_code": result.exit_code,
+        "output_sha": sha256(result.output.encode()).hexdigest()[:16],
+        "stats": result.stats.to_dict(),
+        "metrics": metrics,
+        "wall_s": round(wall_s, 6) if wall_s is not None else None,
+        "steps_per_s": steps_per_s,
+        **environment_stamp(),
+    }
+    record["run_id"] = _run_id(record)
+    return record
+
+
+def _run_id(record: dict) -> str:
+    """Content hash naming a record (timestamp included, so ids are unique
+    across repeated identical runs for all practical purposes)."""
+    material = {k: v for k, v in record.items() if k != "run_id"}
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"), default=str)
+    return sha256(blob.encode()).hexdigest()[:16]
+
+
+def group_key(record: dict) -> tuple:
+    """The trajectory a record belongs to: (workload, scale, machine, engine)."""
+    return (
+        record.get("workload"),
+        record.get("scale"),
+        record.get("machine"),
+        record.get("engine"),
+    )
+
+
+# -- the ledger ---------------------------------------------------------------
+
+
+class Ledger:
+    """Append-only JSONL run store with a compact rebuildable index."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_ledger_root()
+
+    @property
+    def records_path(self) -> Path:
+        return self.root / "records.jsonl"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.jsonl"
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, record: dict) -> str:
+        """Durably append one record; returns its ``run_id``.
+
+        The record line is flushed and fsynced before the index line is
+        written, so a crash can tear (at most) the trailing index line —
+        which readers skip and :meth:`reindex` repairs.
+        """
+        if "run_id" not in record:
+            record = dict(record, run_id=_run_id(record))
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self.records_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        with self.index_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(self._index_line(record), sort_keys=True) + "\n")
+        return record["run_id"]
+
+    @staticmethod
+    def _index_line(record: dict) -> dict:
+        return {
+            "run_id": record.get("run_id"),
+            "timestamp": record.get("timestamp"),
+            "workload": record.get("workload"),
+            "scale": record.get("scale"),
+            "machine": record.get("machine"),
+            "engine": record.get("engine"),
+            "source": record.get("source"),
+            "steps_per_s": record.get("steps_per_s"),
+        }
+
+    def reindex(self) -> int:
+        """Rebuild ``index.jsonl`` from the records file; returns the count."""
+        records = self.records()
+        lines = [
+            json.dumps(self._index_line(record), sort_keys=True) for record in records
+        ]
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.index_path.with_suffix(".jsonl.tmp")
+        tmp.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+        os.replace(tmp, self.index_path)
+        return len(records)
+
+    # -- reading --------------------------------------------------------------
+
+    @staticmethod
+    def _read_jsonl(path: Path) -> list[dict]:
+        if not path.is_file():
+            return []
+        out: list[dict] = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                value = json.loads(line)
+            except ValueError:
+                continue  # torn trailing line from a crashed writer
+            if isinstance(value, dict):
+                out.append(value)
+        return out
+
+    def records(self) -> list[dict]:
+        """All full records, oldest first (torn lines skipped)."""
+        return self._read_jsonl(self.records_path)
+
+    def index(self) -> list[dict]:
+        """The compact index, oldest first; rebuilt if missing or stale."""
+        index = self._read_jsonl(self.index_path)
+        records = self.records()
+        if len(index) != len(records):
+            self.reindex()
+            index = self._read_jsonl(self.index_path)
+        return index
+
+    def get(self, selector: str) -> dict:
+        """One record by run-id prefix or negative position (``-1`` = latest).
+
+        Raises :class:`KeyError` for no match, :class:`ValueError` for an
+        ambiguous prefix.
+        """
+        records = self.records()
+        if selector.lstrip("-").isdigit() and selector.startswith("-"):
+            position = int(selector)
+            if not records or abs(position) > len(records):
+                raise KeyError(f"no record at position {selector}")
+            return records[position]
+        matches = [
+            r for r in records if str(r.get("run_id", "")).startswith(selector)
+        ]
+        if not matches:
+            raise KeyError(f"no record with run id {selector!r}")
+        full = {r["run_id"] for r in matches}
+        if len(full) > 1:
+            raise ValueError(
+                f"run id {selector!r} is ambiguous ({len(full)} matches); "
+                "use a longer prefix"
+            )
+        return matches[-1]
+
+    # -- retention ------------------------------------------------------------
+
+    def gc(self, keep: int) -> int:
+        """Keep the ``keep`` most recent records per trajectory group.
+
+        Returns the number of records dropped.  The rewrite is atomic
+        (temp file + ``os.replace``) and reindexes.
+        """
+        if keep < 1:
+            raise ValueError("gc must keep at least one record per group")
+        records = self.records()
+        by_group: dict[tuple, list[dict]] = {}
+        for record in records:
+            by_group.setdefault(group_key(record), []).append(record)
+        keep_ids = set()
+        for group in by_group.values():
+            keep_ids.update(r.get("run_id") for r in group[-keep:])
+        kept = [r for r in records if r.get("run_id") in keep_ids]
+        dropped = len(records) - len(kept)
+        if dropped:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.records_path.with_suffix(".jsonl.tmp")
+            tmp.write_text(
+                "".join(json.dumps(r, sort_keys=True, default=str) + "\n" for r in kept),
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.records_path)
+            self.reindex()
+        return dropped
+
+
+# -- the opt-in hook ----------------------------------------------------------
+
+
+def resolve_ledger(record=None) -> Ledger | None:
+    """Resolve the ``record=`` / ``$REPRO_LEDGER`` opt-in to a ledger.
+
+    Precedence: the explicit argument (``True`` → default root, a
+    path → that root, a :class:`Ledger` → itself, ``False`` → off), then
+    ``$REPRO_LEDGER`` (off-values and unset → off, on-values → default
+    root, anything else → a root path).  Returns ``None`` when recording
+    is off.
+    """
+    if record is not None:
+        if record is False:
+            return None
+        if record is True:
+            return Ledger()
+        if isinstance(record, Ledger):
+            return record
+        return Ledger(record)
+    value = os.environ.get("REPRO_LEDGER", "")
+    if not value or value.lower() in _OFF_VALUES:
+        return None
+    return Ledger()
+
+
+#: Metadata pushed by sinks that know more than the machine does.
+_context: dict = {}
+
+
+@contextlib.contextmanager
+def ledger_context(**meta) -> Iterator[None]:
+    """Enrich records appended while the context is active.
+
+    Recognized keys: ``workload``, ``scale``, ``source``, ``metrics``.
+    Nesting composes (inner values win and are restored on exit), so the
+    farm can set ``source`` while a runner sets the workload.
+    """
+    saved = {key: _context.get(key, _MISSING) for key in meta}
+    _context.update(meta)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is _MISSING:
+                _context.pop(key, None)
+            else:
+                _context[key] = value
+
+
+_MISSING = object()
+
+
+def maybe_record_run(
+    result,
+    *,
+    engine: str,
+    wall_s: float | None = None,
+    record=None,
+    metrics: Any = None,
+    source: str = "api",
+) -> str | None:
+    """The one hook every machine ``run()`` calls after a finished run.
+
+    No-ops (one env lookup) unless recording was opted in via ``record=``
+    or ``$REPRO_LEDGER``.  Returns the appended ``run_id`` or ``None``.
+    A ledger that cannot be written must never fail a finished run — the
+    failure is reported on stderr and swallowed.
+    """
+    ledger = resolve_ledger(record)
+    if ledger is None:
+        return None
+    entry = make_record(
+        result,
+        engine=engine,
+        wall_s=wall_s,
+        workload=_context.get("workload"),
+        scale=_context.get("scale"),
+        source=_context.get("source", source),
+        metrics=_context.get("metrics", metrics),
+    )
+    try:
+        return ledger.append(entry)
+    except OSError as exc:
+        import sys
+
+        print(f"warning: run ledger not written: {exc}", file=sys.stderr)
+        return None
+
+
+# -- cross-run diffing --------------------------------------------------------
+
+#: Record fields that must match for two runs of the same workload to be
+#: architecturally identical.  ``stats`` is compared field-by-field.
+_ARCHITECTURAL_FIELDS = ("machine", "exit_code", "output_sha")
+
+#: Record fields expected to vary run-to-run; differences are reported as
+#: informational, never as divergence.
+_INFORMATIONAL_FIELDS = (
+    "timestamp",
+    "wall_s",
+    "steps_per_s",
+    "source",
+    "metrics",
+    "toolchain",
+    "git_sha",
+    "host",
+    "run_id",
+    "schema",
+    "engine",
+)
+
+
+@dataclasses.dataclass
+class RunDiff:
+    """Field-by-field comparison of two ledger records."""
+
+    a: str
+    b: str
+    #: architectural divergences: field -> (value_a, value_b)
+    diverged: dict[str, tuple]
+    #: informational differences (timing, environment): field -> (a, b)
+    informational: dict[str, tuple]
+
+    @property
+    def clean(self) -> bool:
+        """True when the two runs are architecturally identical."""
+        return not self.diverged
+
+    def render(self) -> str:
+        lines = [f"diff {self.a} .. {self.b}"]
+        if self.diverged:
+            lines.append(f"DIVERGED: {len(self.diverged)} architectural field(s)")
+            for field in sorted(self.diverged):
+                va, vb = self.diverged[field]
+                lines.append(f"  {field:<32} {va!r} -> {vb!r}")
+        else:
+            lines.append("architectural stats: identical")
+        for field in sorted(self.informational):
+            va, vb = self.informational[field]
+            lines.append(f"  (info) {field:<25} {va!r} -> {vb!r}")
+        return "\n".join(lines) + "\n"
+
+
+def diff_records(a: dict, b: dict) -> RunDiff:
+    """Compare two records; any architectural-stat difference is divergence.
+
+    This turns the engines' bit-identical guarantee into a standing
+    cross-run check: two records of the same workload must agree on every
+    ``stats`` field, the exit code and the output hash, whatever engine,
+    host or toolchain produced them.
+    """
+    diverged: dict[str, tuple] = {}
+    informational: dict[str, tuple] = {}
+    for field in _ARCHITECTURAL_FIELDS:
+        if a.get(field) != b.get(field):
+            diverged[field] = (a.get(field), b.get(field))
+    stats_a, stats_b = a.get("stats") or {}, b.get("stats") or {}
+    for field in sorted(set(stats_a) | set(stats_b)):
+        if stats_a.get(field) != stats_b.get(field):
+            diverged[f"stats.{field}"] = (stats_a.get(field), stats_b.get(field))
+    for field in ("workload", "scale"):
+        if a.get(field) != b.get(field):
+            informational[field] = (a.get(field), b.get(field))
+    for field in _INFORMATIONAL_FIELDS:
+        if a.get(field) != b.get(field):
+            informational[field] = (a.get(field), b.get(field))
+    return RunDiff(
+        a=str(a.get("run_id", "?")),
+        b=str(b.get("run_id", "?")),
+        diverged=diverged,
+        informational=informational,
+    )
+
+
+# -- perf-regression detection ------------------------------------------------
+
+
+@dataclasses.dataclass
+class Regression:
+    """One run whose throughput fell below its trajectory's baseline."""
+
+    group: tuple
+    run_id: str
+    timestamp: float
+    steps_per_s: float
+    baseline: float
+    drop_pct: float
+    samples: int
+
+    def render(self) -> str:
+        workload, scale, machine, engine = self.group
+        label = f"{workload or '?'}[{scale or 'default'}] {machine}/{engine}"
+        return (
+            f"{label}: {self.steps_per_s:,.0f} steps/s vs baseline "
+            f"{self.baseline:,.0f} ({self.drop_pct:+.1f}%, n={self.samples}) "
+            f"run {self.run_id}"
+        )
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def find_regressions(
+    records: list[dict],
+    threshold_pct: float = 20.0,
+    window: int = 5,
+    latest_only: bool = True,
+) -> list[Regression]:
+    """Fit the per-trajectory throughput and flag runs beyond the threshold.
+
+    Records are grouped by (workload, scale, machine, engine) and ordered
+    as appended.  A run regresses when its ``steps_per_s`` falls more than
+    ``threshold_pct`` below the rolling baseline — the median of the up to
+    ``window`` preceding runs in its group (runs with no throughput are
+    skipped; groups need at least two measured runs to say anything).
+    ``latest_only`` checks just each group's newest run, which is the CI
+    mode; ``False`` audits the whole trajectory.
+    """
+    by_group: dict[tuple, list[dict]] = {}
+    for record in records:
+        if record.get("steps_per_s"):
+            by_group.setdefault(group_key(record), []).append(record)
+    regressions: list[Regression] = []
+    for group, runs in by_group.items():
+        start = len(runs) - 1 if latest_only else 1
+        for position in range(max(start, 1), len(runs)):
+            history = [
+                float(r["steps_per_s"]) for r in runs[max(0, position - window) : position]
+            ]
+            baseline = _median(history)
+            if baseline <= 0:
+                continue
+            current = float(runs[position]["steps_per_s"])
+            drop_pct = (current - baseline) / baseline * 100.0
+            if drop_pct < -threshold_pct:
+                regressions.append(
+                    Regression(
+                        group=group,
+                        run_id=str(runs[position].get("run_id", "?")),
+                        timestamp=float(runs[position].get("timestamp") or 0.0),
+                        steps_per_s=current,
+                        baseline=baseline,
+                        drop_pct=drop_pct,
+                        samples=len(history),
+                    )
+                )
+    regressions.sort(key=lambda r: r.drop_pct)
+    return regressions

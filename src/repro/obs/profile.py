@@ -176,6 +176,7 @@ class ProfileBuilder:
         total_cycles: int = 0,
         source_file: str = "",
         source: str = "",
+        truncated: int = 0,
     ) -> "Profile":
         func_cum: Counter = Counter()
         for key, cycles in self.stack_cycles.items():
@@ -187,6 +188,7 @@ class ProfileBuilder:
             source_file=source_file,
             source=source,
             total_cycles=total_cycles,
+            truncated=truncated,
             retired_cycles=self.retired_cycles,
             attributed_cycles=self.attributed_cycles,
             window_cycles=dict(self.window_cycles),
@@ -227,6 +229,9 @@ class Profile:
     stack_cycles: dict
     edges: dict
     counters: dict
+    #: events the source tracer's ring dropped before this profile was
+    #: built (0 for streaming live profiles, which never buffer)
+    truncated: int = 0
 
     @property
     def sampled_cycles(self) -> int:
@@ -262,7 +267,14 @@ class Profile:
             f"{self.machine} profile"
             + (f" of {self.workload}" if self.workload else "")
             + f": {self.total_cycles} cycles, "
-            f"{self.attributed_fraction:.1%} attributed\n"
+            f"{self.attributed_fraction:.1%} attributed"
+            + (
+                f"\nTRUNCATED: {self.truncated} event(s) dropped — "
+                "figures understate the run"
+                if self.truncated
+                else ""
+            )
+            + "\n"
         )
         lines = [
             header,
@@ -344,6 +356,7 @@ class Profile:
             "stacks": {";".join(k): v for k, v in sorted(self.stack_cycles.items())},
             "edges": {f"{a};{b}": n for (a, b), n in sorted(self.edges.items())},
             "counters": dict(self.counters),
+            "truncated": self.truncated,
         }
 
 
@@ -401,10 +414,20 @@ def profile_run(compiled, *, max_steps: int | None = None, workload: str = ""):
     return profile, result
 
 
-def profile_events(events, program, machine: str = "", workload: str = "") -> Profile:
-    """Build a profile from a stored event list against its program image."""
+def profile_events(
+    events, program, machine: str = "", workload: str = "", dropped: int = 0
+) -> Profile:
+    """Build a profile from a stored event list against its program image.
+
+    ``dropped`` is the source trace's ring-eviction count (the ``meta``
+    of :func:`~repro.obs.exporters.scan_jsonl`); it flows into
+    :attr:`Profile.truncated` so reports disclose the skew.
+    """
     builder = ProfileBuilder(Symbolizer(program))
     builder.feed(events)
     return builder.finish(
-        machine=machine, workload=workload, source_file=program.source_file
+        machine=machine,
+        workload=workload,
+        source_file=program.source_file,
+        truncated=dropped,
     )

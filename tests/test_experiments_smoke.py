@@ -88,6 +88,19 @@ class TestCli:
         out = capsys.readouterr().out
         assert "31 instructions" in out or "RISC I" in out
 
+    def test_cli_metrics_out(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        out = tmp_path / "metrics.json"
+        assert main(["e9", "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(out.read_text(encoding="utf-8"))
+        # e9 simulates runs on both machines; their counters must land here
+        assert any(name.startswith("risc1.") for name in snapshot)
+        assert snapshot["risc1.runs"]["value"] >= 1
+
     def test_cli_rejects_unknown(self):
         import pytest
 

@@ -1,0 +1,363 @@
+"""The run ledger: durable records, cross-run diffing, regression detection.
+
+Covers the two acceptance criteria directly:
+
+* two runs of the same workload under the ``reference`` and ``fast``
+  engines diff with zero architectural-stat divergence;
+* ``obs ledger regressions`` flags an artificially slowed run (>= 20%
+  steps/s drop) against its trajectory's rolling baseline.
+"""
+
+import json
+
+import pytest
+
+from repro.cc.driver import compile_program, run_compiled
+from repro.obs.cli import main as obs_main
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    diff_records,
+    environment_stamp,
+    find_regressions,
+    group_key,
+    ledger_context,
+    make_record,
+    maybe_record_run,
+    resolve_ledger,
+)
+
+#: Small but call-heavy: exercises window traffic so stats are non-trivial.
+SOURCE = """
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { putint(fib(10)); return 0; }
+"""
+
+
+@pytest.fixture()
+def compiled():
+    return compile_program(SOURCE)
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return Ledger(tmp_path / "ledger")
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_ledger(monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+
+
+def synthetic(workload="towers:10", engine="fast", steps_per_s=1000.0, seq=0):
+    """A hand-built record for trajectory tests (no simulation needed)."""
+    return {
+        "schema": LEDGER_SCHEMA_VERSION,
+        "timestamp": 1_000_000.0 + seq,
+        "source": "test",
+        "workload": workload,
+        "scale": "default",
+        "machine": "risc1",
+        "engine": engine,
+        "exit_code": 0,
+        "output_sha": "00" * 8,
+        "stats": {"instructions": 100},
+        "steps_per_s": steps_per_s,
+        "run_id": f"{seq:016x}",
+    }
+
+
+class TestRecord:
+    def test_record_contents(self, compiled, ledger):
+        with ledger_context(workload="fib", scale="default", source="test"):
+            result = run_compiled(compiled, record=ledger)
+        records = ledger.records()
+        assert len(records) == 1
+        record = records[0]
+        assert record["schema"] == LEDGER_SCHEMA_VERSION
+        assert record["workload"] == "fib"
+        assert record["scale"] == "default"
+        assert record["source"] == "test"
+        assert record["machine"] == result.machine == "risc1"
+        assert record["exit_code"] == 0
+        assert record["stats"] == result.stats.to_dict()
+        assert record["stats"]["instructions"] == result.instructions
+        assert record["wall_s"] > 0
+        assert record["steps_per_s"] > 0
+        assert len(record["run_id"]) == 16
+        # the environment stamp makes the record joinable with farm/bench
+        assert record["toolchain"]
+        assert set(record["host"]) >= {"hostname", "platform", "python"}
+
+    def test_environment_stamp_shape(self):
+        stamp = environment_stamp()
+        assert set(stamp) == {"toolchain", "git_sha", "host"}
+        assert stamp is environment_stamp()  # cached per process
+
+    def test_not_recorded_without_opt_in(self, compiled, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_compiled(compiled)
+        assert not (tmp_path / ".repro-ledger").exists()
+
+    def test_env_var_opt_in(self, compiled, tmp_path, monkeypatch):
+        root = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_LEDGER", str(root))
+        run_compiled(compiled)
+        assert len(Ledger(root).records()) == 1
+
+    def test_record_false_overrides_env(self, compiled, tmp_path, monkeypatch):
+        root = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_LEDGER", str(root))
+        run_compiled(compiled, record=False)
+        assert not root.exists()
+
+    def test_resolve_ledger_semantics(self, tmp_path, monkeypatch):
+        assert resolve_ledger(None) is None
+        assert resolve_ledger(False) is None
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert resolve_ledger(None) is None
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "env-root"))
+        assert resolve_ledger(None).root == tmp_path / "env-root"
+        explicit = Ledger(tmp_path / "explicit")
+        assert resolve_ledger(explicit) is explicit
+        assert resolve_ledger(tmp_path / "path").root == tmp_path / "path"
+
+    def test_unwritable_ledger_never_fails_the_run(self, compiled, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("", encoding="utf-8")
+        result = run_compiled(compiled, record=blocker / "ledger")
+        assert result.exit_code == 0
+        assert "run ledger not written" in capsys.readouterr().err
+
+    def test_context_nesting_restores(self):
+        from repro.obs.ledger import _context
+
+        with ledger_context(source="outer", workload="w"):
+            with ledger_context(source="inner"):
+                assert _context["source"] == "inner"
+                assert _context["workload"] == "w"
+            assert _context["source"] == "outer"
+        assert "source" not in _context and "workload" not in _context
+
+
+class TestLedgerStore:
+    def test_append_read_round_trip(self, ledger):
+        ids = [ledger.append(synthetic(seq=i)) for i in range(3)]
+        assert [r["run_id"] for r in ledger.records()] == ids
+        assert [r["run_id"] for r in ledger.index()] == ids
+
+    def test_torn_record_line_is_skipped(self, ledger):
+        ledger.append(synthetic(seq=0))
+        ledger.append(synthetic(seq=1))
+        with ledger.records_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "run_id": "torn')  # crashed writer
+        assert len(ledger.records()) == 2
+        # the index self-heals off the records file
+        assert len(ledger.index()) == 2
+
+    def test_index_rebuilds_when_missing_or_stale(self, ledger):
+        ledger.append(synthetic(seq=0))
+        ledger.index_path.unlink()
+        assert len(ledger.index()) == 1
+        # stale: an extra record behind the index's back
+        with ledger.records_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(synthetic(seq=1)) + "\n")
+        assert len(ledger.index()) == 2
+
+    def test_get_by_prefix_and_position(self, ledger):
+        ledger.append(dict(synthetic(seq=0), run_id="aaaa000000000000"))
+        ledger.append(dict(synthetic(seq=1), run_id="bbbb000000000000"))
+        assert ledger.get("aaaa")["timestamp"] == 1_000_000.0
+        assert ledger.get("-1")["run_id"] == "bbbb000000000000"
+        assert ledger.get("-2")["run_id"] == "aaaa000000000000"
+        with pytest.raises(KeyError):
+            ledger.get("cccc")
+        with pytest.raises(KeyError):
+            ledger.get("-3")
+
+    def test_get_ambiguous_prefix(self, ledger):
+        ledger.append(dict(synthetic(seq=0), run_id="ab00000000000000"))
+        ledger.append(dict(synthetic(seq=1), run_id="ab11111111111111"))
+        with pytest.raises(ValueError):
+            ledger.get("ab")
+
+    def test_gc_keeps_newest_per_group(self, ledger):
+        for i in range(4):
+            ledger.append(synthetic(workload="towers:10", seq=i))
+        for i in range(2):
+            ledger.append(synthetic(workload="qsort", seq=10 + i))
+        dropped = ledger.gc(keep=1)
+        assert dropped == 4
+        kept = ledger.records()
+        assert {r["workload"] for r in kept} == {"towers:10", "qsort"}
+        assert [r["run_id"] for r in kept] == ["0000000000000003", "000000000000000b"]
+        with pytest.raises(ValueError):
+            ledger.gc(keep=0)
+
+
+class TestDiff:
+    def test_engines_diff_clean(self, compiled, ledger):
+        """Acceptance: fast vs reference runs show zero architectural drift."""
+        with ledger_context(workload="fib", source="test"):
+            run_compiled(compiled, engine="reference", record=ledger)
+            run_compiled(compiled, engine="fast", record=ledger)
+        a, b = ledger.records()
+        assert (a["engine"], b["engine"]) == ("reference", "fast")
+        diff = diff_records(a, b)
+        assert diff.clean
+        assert "engine" in diff.informational
+        assert "architectural stats: identical" in diff.render()
+
+    def test_stat_drift_is_divergence(self, compiled, ledger):
+        with ledger_context(workload="fib"):
+            run_compiled(compiled, record=ledger)
+        a = ledger.records()[0]
+        b = json.loads(json.dumps(a))
+        b["stats"]["instructions"] += 1
+        b["output_sha"] = "f" * 16
+        diff = diff_records(a, b)
+        assert not diff.clean
+        assert set(diff.diverged) == {"stats.instructions", "output_sha"}
+        assert "DIVERGED" in diff.render()
+
+    def test_cross_machine_runs_diverge(self):
+        a = synthetic()
+        b = dict(synthetic(), machine="cisc")
+        assert "machine" in diff_records(a, b).diverged
+
+
+class TestRegressions:
+    def test_flags_artificial_slowdown(self):
+        """Acceptance: a >=20% steps/s drop against the rolling median."""
+        records = [synthetic(steps_per_s=s, seq=i) for i, s in enumerate([1000, 1020, 980, 1010])]
+        records.append(synthetic(steps_per_s=700, seq=4))  # ~30% below median
+        found = find_regressions(records, threshold_pct=20.0)
+        assert len(found) == 1
+        regression = found[0]
+        assert regression.run_id == "0000000000000004"
+        assert regression.drop_pct < -20
+        assert regression.baseline == pytest.approx(1005.0)
+        assert "towers:10" in regression.render()
+
+    def test_noise_below_threshold_passes(self):
+        records = [synthetic(steps_per_s=s, seq=i) for i, s in enumerate([1000, 1020, 900])]
+        assert find_regressions(records, threshold_pct=20.0) == []
+
+    def test_groups_are_independent(self):
+        # fast stays healthy; only the reference trajectory regressed
+        records = [synthetic(engine="fast", steps_per_s=5000 + i, seq=i) for i in range(3)]
+        records += [
+            synthetic(engine="reference", steps_per_s=s, seq=10 + i)
+            for i, s in enumerate([1000, 1000, 500])
+        ]
+        found = find_regressions(records, threshold_pct=20.0)
+        assert [r.group for r in found] == [("towers:10", "default", "risc1", "reference")]
+
+    def test_needs_two_measured_runs(self):
+        records = [synthetic(steps_per_s=1000, seq=0), synthetic(steps_per_s=None, seq=1)]
+        assert find_regressions(records) == []
+
+    def test_all_mode_audits_history(self):
+        speeds = [1000, 1000, 400, 1000, 1000]
+        records = [synthetic(steps_per_s=s, seq=i) for i, s in enumerate(speeds)]
+        assert find_regressions(records, latest_only=True) == []
+        dips = find_regressions(records, latest_only=False)
+        assert [r.run_id for r in dips] == ["0000000000000002"]
+
+    def test_window_bounds_the_baseline(self):
+        # an old fast era must age out of the baseline after `window` runs
+        speeds = [2000] + [1000] * 5 + [950]
+        records = [synthetic(steps_per_s=s, seq=i) for i, s in enumerate(speeds)]
+        assert find_regressions(records, threshold_pct=20.0, window=5) == []
+
+    def test_group_key(self):
+        assert group_key(synthetic()) == ("towers:10", "default", "risc1", "fast")
+
+
+class TestLedgerCli:
+    def seeded(self, tmp_path, records):
+        root = tmp_path / "ledger"
+        ledger = Ledger(root)
+        for record in records:
+            ledger.append(record)
+        return str(root)
+
+    def test_list_and_show(self, tmp_path, capsys):
+        root = self.seeded(tmp_path, [synthetic(seq=0), synthetic(engine="reference", seq=1)])
+        assert obs_main(["ledger", "--dir", root, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "towers:10" in out and "reference" in out
+        assert obs_main(["ledger", "--dir", root, "list", "--engine", "fast", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["engine"] for r in rows] == ["fast"]
+        assert obs_main(["ledger", "--dir", root, "show", "-1"]) == 0
+        assert json.loads(capsys.readouterr().out)["engine"] == "reference"
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        diverged = dict(synthetic(seq=1), output_sha="f" * 16)
+        root = self.seeded(tmp_path, [synthetic(seq=0), synthetic(seq=2), diverged])
+        assert obs_main(["ledger", "--dir", root, "diff", "-3", "-2"]) == 0
+        capsys.readouterr()
+        assert obs_main(["ledger", "--dir", root, "diff", "-2", "-1", "--format", "json"]) == 1
+        assert json.loads(capsys.readouterr().out)["clean"] is False
+        assert obs_main(["ledger", "--dir", root, "diff", "-1", "zzzz"]) == 2
+
+    def test_regressions_exit_codes(self, tmp_path, capsys):
+        healthy = [synthetic(steps_per_s=1000 + i, seq=i) for i in range(3)]
+        root = self.seeded(tmp_path, healthy)
+        assert obs_main(["ledger", "--dir", root, "regressions"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        slowed = healthy + [synthetic(steps_per_s=500, seq=9)]
+        root = self.seeded(tmp_path / "slow", slowed)
+        assert obs_main(["ledger", "--dir", root, "regressions", "--threshold", "20"]) == 1
+        assert "steps/s vs baseline" in capsys.readouterr().out
+
+    def test_record_then_diff_engines(self, tmp_path, capsys):
+        """Acceptance, end to end through the CLI: record a workload under
+        both engines, then ``ledger diff`` reports no divergence."""
+        root = str(tmp_path / "ledger")
+        base = ["ledger", "--dir", root]
+        assert obs_main(base + ["record", "--workload", "towers:4", "--engine", "reference"]) == 0
+        ref_id = capsys.readouterr().out.strip()
+        assert obs_main(base + ["record", "--workload", "towers:4", "--engine", "fast"]) == 0
+        fast_id = capsys.readouterr().out.strip()
+        assert ref_id != fast_id
+        assert obs_main(base + ["diff", ref_id, fast_id]) == 0
+        assert "architectural stats: identical" in capsys.readouterr().out
+
+    def test_export_and_gc(self, tmp_path, capsys):
+        root = self.seeded(tmp_path, [synthetic(seq=i) for i in range(3)])
+        out = tmp_path / "dump.jsonl"
+        assert obs_main(["ledger", "--dir", root, "export", str(out), "--format", "jsonl"]) == 0
+        assert len(out.read_text(encoding="utf-8").splitlines()) == 3
+        assert obs_main(["ledger", "--dir", root, "gc", "--keep", "1"]) == 0
+        assert "dropped 2" in capsys.readouterr().out
+        assert obs_main(["ledger", "--dir", root, "export", "-", "--format", "json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+
+class TestMaybeRecordRun:
+    def test_returns_none_when_off(self, compiled):
+        result = run_compiled(compiled)
+        assert maybe_record_run(result, engine="fast") is None
+
+    def test_records_with_metrics(self, compiled, ledger):
+        from repro.obs import MetricsRegistry, record_machine_run
+
+        result = run_compiled(compiled)
+        registry = MetricsRegistry()
+        record_machine_run(registry, result)
+        run_id = maybe_record_run(
+            result, engine="fast", wall_s=0.5, record=ledger, metrics=registry
+        )
+        record = ledger.get(run_id)
+        assert record["metrics"]["risc1.runs"]["value"] == 1
+        assert record["wall_s"] == 0.5
+        assert record["steps_per_s"] == pytest.approx(result.instructions / 0.5, rel=0.01)
+
+
+def test_make_record_is_schema_versioned(compiled):
+    result = run_compiled(compiled)
+    record = make_record(result, engine="fast", wall_s=1.0, workload="fib")
+    assert record["schema"] == LEDGER_SCHEMA_VERSION
+    assert len(record["run_id"]) == 16

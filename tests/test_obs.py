@@ -21,6 +21,7 @@ from repro.obs import (
     write_jsonl,
 )
 from repro.obs.cli import main as obs_main
+from repro.obs.exporters import scan_jsonl
 
 
 def flow_trace(n=6):
@@ -118,6 +119,16 @@ class TestMetrics:
         assert a.histogram("h", buckets=(10,)).counts == [1, 1]
         assert a.gauge("g").max_value == 9
 
+    def test_merge_mismatched_histogram_buckets(self):
+        # merging never silently re-bins: boundary disagreement is an error
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(10,)).observe(1)
+        b.histogram("h", buckets=(10, 100)).observe(50)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        # the failed merge must not have corrupted the destination
+        assert a.histogram("h", buckets=(10,)).counts == [1, 0]
+
     def test_record_machine_run(self):
         from repro.cc.driver import run_compiled
 
@@ -171,6 +182,59 @@ class TestExporters:
         write_chrome_trace(flow_trace().events, path)
         document = json.loads(path.read_text(encoding="utf-8"))
         assert document["traceEvents"]
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl([], path) == 0
+        assert path.read_text(encoding="utf-8") == ""
+        assert read_jsonl(path) == []
+        events, skipped, meta = scan_jsonl(path)
+        assert (events, skipped, meta) == ([], 0, {})
+
+    def test_empty_trace_to_chrome(self, tmp_path):
+        # only the process-name metadata records; still a valid document
+        document = to_chrome([])
+        assert all(record["ph"] == "M" for record in document["traceEvents"])
+        path = tmp_path / "empty_chrome.json"
+        write_chrome_trace([], path)
+        assert json.loads(path.read_text(encoding="utf-8"))["traceEvents"]
+
+    def test_dropped_trace_round_trip(self, tmp_path):
+        tracer = Tracer(capacity=4)
+        for cycles in range(10):
+            tracer.retire(cycles, pc=0, op="ADD", cost=1)
+        path = tmp_path / "dropped.jsonl"
+        # passing the tracer itself carries its dropped count along
+        assert write_jsonl(tracer, path) == 4
+        first = json.loads(path.read_text(encoding="utf-8").splitlines()[0])
+        assert first["meta"]["dropped"] == 6
+        events, skipped, meta = scan_jsonl(path)
+        assert len(events) == 4 and skipped == 0
+        assert meta["dropped"] == 6
+        # the forgiving reader skips the meta line, not the events
+        assert len(read_jsonl(path)) == 4
+
+    def test_undropped_trace_has_no_meta_line(self, tmp_path):
+        # full-fidelity traces stay byte-compatible with the old format
+        path = tmp_path / "full.jsonl"
+        write_jsonl(flow_trace().events, path)
+        for line in path.read_text(encoding="utf-8").splitlines():
+            assert "kind" in json.loads(line)
+
+    def test_dropped_trace_to_chrome_stays_balanced(self, tmp_path):
+        # ring kept only the RETs: conversion must still balance B/E pairs
+        tracer = Tracer(capacity=6, kinds=FLOW_KINDS)
+        depth = 0
+        for i in range(8):
+            depth += 1
+            tracer.call(cycles=i * 10, pc=0x1000 + i, depth=depth)
+        for i in range(8):
+            depth -= 1
+            tracer.ret(cycles=(9 + i) * 10, pc=0x2000 + i, depth=depth)
+        assert tracer.dropped > 0
+        document = to_chrome(tracer.events)
+        phases = [record["ph"] for record in document["traceEvents"]]
+        assert phases.count("B") == phases.count("E")
 
 
 class TestProfilingSpan:
@@ -235,3 +299,31 @@ class TestObsCli:
 
     def test_missing_trace(self, tmp_path):
         assert obs_main(["summarize", str(tmp_path / "missing.jsonl")]) == 1
+
+    @pytest.fixture()
+    def dropped_trace_path(self, tmp_path):
+        tracer = Tracer(capacity=4)
+        for cycles in range(10):
+            tracer.retire(cycles, pc=0, op="ADD", cost=1)
+        path = tmp_path / "dropped.jsonl"
+        write_jsonl(tracer, path)
+        return path
+
+    def test_summarize_warns_on_truncated_trace(self, dropped_trace_path, capsys):
+        assert obs_main(["summarize", str(dropped_trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert "TRUNCATED" in captured.err
+        assert "6" in captured.err
+        assert "truncated" in captured.out
+
+    def test_summarize_json_carries_truncated_count(self, dropped_trace_path, capsys):
+        assert obs_main(["summarize", str(dropped_trace_path), "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["truncated"] == 6
+        assert "TRUNCATED" in captured.err
+
+    def test_summarize_quiet_on_full_trace(self, trace_path, capsys):
+        assert obs_main(["summarize", str(trace_path), "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert "TRUNCATED" not in captured.err
+        assert json.loads(captured.out)["truncated"] == 0
