@@ -176,6 +176,11 @@ class VaxCPU:
         #: registers and apply autoincrement/autodecrement per execution.
         self._decode_cache: dict = {}
         self._use_cache = decode_cache
+        #: Optional per-instruction hook ``fn(pc, info, operands,
+        #: branch_disp)``, fired after operand evaluation and before
+        #: execution — identically on both engine paths (there is one
+        #: step loop).  The pipeline timing model hangs off this.
+        self.on_execute = None
         self._cache_lo = memory_size  # lowest cached instruction byte
         self._cache_hi = 0  # one past the highest cached byte
         self.memory.write_watch = self._note_code_write
@@ -223,6 +228,7 @@ class VaxCPU:
         tracer=None,
         engine: str | None = None,
         record=None,
+        uarch=None,
     ) -> RunResult:
         """Run until the program halts.
 
@@ -234,7 +240,10 @@ class VaxCPU:
         are differentially identical.  ``record`` opts this run into the
         persistent run ledger (``True``, a ledger root path, or a
         :class:`~repro.obs.ledger.Ledger`); ``None`` defers to
-        ``$REPRO_LEDGER``.
+        ``$REPRO_LEDGER``.  ``uarch`` opts the run into the pipeline
+        timing model (same forms as the RISC I ``run``); the resulting
+        :class:`~repro.uarch.pipeline.PipelineStats` is attached as
+        ``result.pipeline``.
         """
         import time as _time
 
@@ -246,6 +255,14 @@ class VaxCPU:
         # otherwise the engine selection decides
         engine_name = resolve_engine(engine)
         self._use_cache = use_cache_before and engine_name == "fast"
+        probe = None
+        if uarch is not None and uarch is not False:
+            from repro.uarch import PipelineModel, attach_pipeline, resolve_uarch
+
+            config = resolve_uarch(uarch)
+            probe = attach_pipeline(
+                self, PipelineModel(config, machine=self.name, tracer=self.tracer)
+            )
         started = _time.perf_counter()
         try:
             for _ in range(limit):
@@ -254,6 +271,8 @@ class VaxCPU:
         except _Halt as halt:
             wall_s = _time.perf_counter() - started
             result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
+            if probe is not None:
+                result.pipeline = probe.finalize()[0]
             if self.metrics is not None:
                 from repro.obs.metrics import record_machine_run
 
@@ -270,6 +289,10 @@ class VaxCPU:
             return result
         finally:
             self._use_cache = use_cache_before
+            if probe is not None:
+                from repro.uarch import detach_pipeline
+
+                detach_pipeline(self, probe)
 
     def step(self) -> None:
         pc = self.pc
@@ -315,6 +338,8 @@ class VaxCPU:
                     self._cache_lo = pc
                 if self.pc > self._cache_hi:
                     self._cache_hi = self.pc
+        if self.on_execute is not None:
+            self.on_execute(pc, info, operands, branch_disp)
         reads_before = self.memory.stats.data_reads
         writes_before = self.memory.stats.data_writes
         try:

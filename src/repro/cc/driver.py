@@ -129,6 +129,7 @@ def run_compiled(
     metrics=None,
     engine: str | None = None,
     record=None,
+    uarch=None,
 ):
     """Execute a compiled program on its target's simulator.
 
@@ -137,7 +138,10 @@ def run_compiled(
     picks the execution path (``None`` defers to ``$REPRO_ENGINE``, then
     the fast default); both engines are differentially identical.
     ``record`` opts the run into the persistent run ledger (``None``
-    defers to ``$REPRO_LEDGER``; see :mod:`repro.obs.ledger`).
+    defers to ``$REPRO_LEDGER``; see :mod:`repro.obs.ledger`).  ``uarch``
+    opts the run into the pipeline timing model (a spec string, ``True``
+    for the default configuration, or a ``UarchConfig``); the resulting
+    ``PipelineStats`` lands on ``result.pipeline``.
     """
     if compiled.target == "risc1":
         from repro.core.cpu import CPU
@@ -148,4 +152,6 @@ def run_compiled(
 
         cpu = VaxCPU(tracer=tracer, metrics=metrics)
     cpu.load(compiled.program)
-    return cpu.run(max_instructions, max_steps=max_steps, engine=engine, record=record)
+    return cpu.run(
+        max_instructions, max_steps=max_steps, engine=engine, record=record, uarch=uarch
+    )

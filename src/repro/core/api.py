@@ -159,6 +159,10 @@ class RunResult:
     exit_code: int
     output: str
     stats: Any
+    #: optional :class:`~repro.uarch.pipeline.PipelineStats` — attached
+    #: when the run was measured under the pipeline timing model
+    #: (``run(uarch=...)``); purely additive, so the schema is unchanged
+    pipeline: Any = None
 
     @property
     def cycles(self) -> int:
@@ -173,13 +177,16 @@ class RunResult:
         return self.stats.data_references
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema": RESULT_SCHEMA_VERSION,
             "machine": self.machine,
             "exit_code": self.exit_code,
             "output": self.output,
             "stats": self.stats.to_dict(),
         }
+        if self.pipeline is not None:
+            payload["pipeline"] = self.pipeline.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict, default_machine: str | None = None) -> "RunResult":
@@ -192,11 +199,17 @@ class RunResult:
         if machine is None:
             raise KeyError("result payload has no 'machine' tag and no default was given")
         stats = stats_type(machine).from_dict(payload["stats"])
+        pipeline = None
+        if payload.get("pipeline") is not None:
+            from repro.uarch.pipeline import PipelineStats
+
+            pipeline = PipelineStats.from_dict(payload["pipeline"])
         return RunResult(
             machine=machine,
             exit_code=payload["exit_code"],
             output=payload["output"],
             stats=stats,
+            pipeline=pipeline,
         )
 
 
@@ -227,6 +240,7 @@ class Machine(Protocol):
         tracer=None,
         engine: str | None = None,
         record=None,
+        uarch=None,
     ) -> RunResult:
         """Run to halt (or raise :class:`StepLimitExceeded`).
 
@@ -234,7 +248,10 @@ class Machine(Protocol):
         ``None`` defers to ``$REPRO_ENGINE`` / :data:`DEFAULT_ENGINE`.
         ``record`` opts the finished run into the persistent run ledger
         (see :mod:`repro.obs.ledger`); ``None`` defers to
-        ``$REPRO_LEDGER``.
+        ``$REPRO_LEDGER``.  ``uarch`` (a config spec, ``True`` for the
+        default, or a :class:`~repro.uarch.config.UarchConfig`) measures
+        the run under the pipeline timing model and attaches
+        ``result.pipeline``.
         """
         ...
 

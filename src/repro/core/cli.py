@@ -43,7 +43,27 @@ def main(argv: list[str] | None = None) -> int:
         help="append this run to the persistent run ledger "
         "(default root .repro-ledger, or PATH; $REPRO_LEDGER also enables)",
     )
+    parser.add_argument(
+        "--uarch",
+        nargs="?",
+        const="base",
+        default=None,
+        metavar="CONFIG",
+        help="time the run with the 5-stage pipeline model and print its "
+        "summary; CONFIG is key=value pairs like pred=bht2,fwd=full "
+        "(bare gives the base configuration)",
+    )
     args = parser.parse_args(argv)
+
+    if args.uarch is not None:
+        from repro.uarch import parse_uarch_config
+
+        try:
+            parse_uarch_config(args.uarch)
+        except ValueError as error:
+            parser.error(str(error))
+        if args.trace is not None:
+            parser.error("--uarch does not combine with --trace")
 
     with open(args.source) as handle:
         text = handle.read()
@@ -74,11 +94,15 @@ def main(argv: list[str] | None = None) -> int:
                 max_instructions=args.max_instructions,
                 engine=args.engine,
                 record=args.ledger,
+                uarch=args.uarch,
             )
     sys.stdout.write(result.output)
     if args.stats:
         print(file=sys.stderr)
         print(result.stats.summary(), file=sys.stderr)
+    if getattr(result, "pipeline", None) is not None:
+        print(file=sys.stderr)
+        print(result.pipeline.summary(), file=sys.stderr)
     return result.exit_code
 
 

@@ -200,6 +200,7 @@ class CPU:
         tracer=None,
         engine: str | None = None,
         record=None,
+        uarch=None,
     ) -> RunResult:
         """Run until the program halts.
 
@@ -212,7 +213,12 @@ class CPU:
         loop); both are differentially identical.  ``record`` opts this
         run into the persistent run ledger (``True``, a ledger root path,
         or a :class:`~repro.obs.ledger.Ledger`); ``None`` defers to
-        ``$REPRO_LEDGER``.
+        ``$REPRO_LEDGER``.  ``uarch`` opts the run into the pipeline
+        timing model (a ``--uarch`` spec string, ``True`` for the default
+        configuration, or a :class:`~repro.uarch.config.UarchConfig`);
+        the resulting :class:`~repro.uarch.pipeline.PipelineStats` is
+        attached as ``result.pipeline``.  Measuring keeps the fast engine
+        on its exact (per-step) loop — the uarch-off path is untouched.
         """
         import time as _time
 
@@ -220,6 +226,14 @@ class CPU:
         if tracer is not None:
             self._install_tracer(tracer)
         engine_name = resolve_engine(engine)
+        probe = None
+        if uarch is not None and uarch is not False:
+            from repro.uarch import PipelineModel, attach_pipeline, resolve_uarch
+
+            config = resolve_uarch(uarch)
+            probe = attach_pipeline(
+                self, PipelineModel(config, machine=self.name, tracer=self.tracer)
+            )
         started = _time.perf_counter()
         try:
             if engine_name == "fast" and self._program is not None:
@@ -235,6 +249,8 @@ class CPU:
             wall_s = _time.perf_counter() - started
             self._sync_memory_stats()
             result = RunResult(self.name, halt.code, "".join(self._console), self.stats)
+            if probe is not None:
+                result.pipeline = probe.finalize()[0]
             if self.metrics is not None:
                 from repro.obs.metrics import record_machine_run
 
@@ -249,6 +265,11 @@ class CPU:
                 metrics=self.metrics,
             )
             return result
+        finally:
+            if probe is not None:
+                from repro.uarch import detach_pipeline
+
+                detach_pipeline(self, probe)
 
     def raise_interrupt(self, vector: int) -> None:
         """Latch an external interrupt request.

@@ -26,16 +26,19 @@ EXPERIMENTS = {
     "e14": ("e14_spill_policy", "window overflow handler policy"),
     "e15": ("e15_hand_code", "compiler quality: hand code vs compiled"),
     "e16": ("e16_instruction_mix", "dynamic instruction mix"),
+    "e16_pipeline": ("e16_pipeline", "pipeline CPI, stall anatomy, predictors"),
 }
 
 
-def _write_trace(path: str, spec: str) -> None:
+def _write_trace(path: str, spec: str, uarch: str | None = None) -> None:
     """Record an instrumented workload run and export a Chrome trace.
 
     Compiler phases land on the toolchain track (wall-clock), the call /
     return / window-traffic timeline of the RISC I run lands on the
     machine track (simulated cycles); the result loads directly in
-    Perfetto or ``chrome://tracing``.
+    Perfetto or ``chrome://tracing``.  With ``uarch``, the run is also
+    timed by the pipeline model and its stall events land on the
+    machine's "pipeline stalls" counter track.
     """
     from repro.cc.driver import compile_program
     from repro.core.cpu import CPU
@@ -53,16 +56,22 @@ def _write_trace(path: str, spec: str) -> None:
         tracer=cc_tracer,
         filename=f"{name}.c",
     )
-    tracer = Tracer(capacity=1 << 18, kinds=FLOW_KINDS, cycle_ns=RISC_CYCLE_NS)
+    kinds = FLOW_KINDS if uarch is None else FLOW_KINDS | {EventKind.PIPE_STALL}
+    tracer = Tracer(capacity=1 << 18, kinds=kinds, cycle_ns=RISC_CYCLE_NS)
     cpu = CPU(tracer=tracer)
     cpu.load(program.program)
     from repro.obs.ledger import ledger_context
 
     with ledger_context(workload=spec, source="experiments"):
-        result = cpu.run(max_steps=500_000_000)
+        result = cpu.run(max_steps=500_000_000, uarch=uarch)
     write_chrome_trace(list(cc_tracer.events) + list(tracer.events), path)
+    pipe = (
+        f", pipeline CPI {result.pipeline.cpi:.3f}"
+        if getattr(result, "pipeline", None) is not None
+        else ""
+    )
     print(
-        f"[trace: {spec} on risc1 — {result.cycles} cycles, "
+        f"[trace: {spec} on risc1 — {result.cycles} cycles{pipe}, "
         f"{len(tracer.events)} events kept ({tracer.dropped} dropped) -> {path}]",
         file=sys.stderr,
     )
@@ -187,7 +196,25 @@ def main(argv: list[str] | None = None) -> int:
         help="append every simulated run to the persistent run ledger "
         "(default root .repro-ledger, or PATH; reaches farm workers too)",
     )
+    parser.add_argument(
+        "--uarch",
+        nargs="?",
+        const="base",
+        default=None,
+        metavar="CONFIG",
+        help="time the --trace run with the 5-stage pipeline model; its "
+        "stall events become a counter track in the Chrome trace "
+        "(CONFIG like pred=bht2,fwd=full; bare gives the base config)",
+    )
     args = parser.parse_args(argv)
+
+    if args.uarch is not None:
+        from repro.uarch import parse_uarch_config
+
+        try:
+            parse_uarch_config(args.uarch)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.engine:
         # exported (rather than threaded through every call) so the farm's
@@ -266,7 +293,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"[metrics: {len(registry)} series -> {out}]", file=sys.stderr)
     if args.trace:
-        _write_trace(args.trace, args.trace_workload)
+        _write_trace(args.trace, args.trace_workload, uarch=args.uarch)
     if args.profile:
         _write_profiles(args.profile, args.trace_workload)
     return 0

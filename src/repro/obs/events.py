@@ -31,6 +31,9 @@ class EventKind(str, enum.Enum):
     WINDOW_UNDERFLOW = "win_underflow"
     #: machine trap (kind, detail)
     TRAP = "trap"
+    #: pipeline-model stall (cause, bubble cycles) — emitted by the
+    #: uarch timing model, not the architectural step loop
+    PIPE_STALL = "pipe_stall"
     #: procedure call (call-site pc, new depth)
     CALL = "call"
     #: procedure return (pc, new depth)
@@ -53,6 +56,7 @@ SIM_KINDS = frozenset(
         EventKind.TRAP,
         EventKind.CALL,
         EventKind.RET,
+        EventKind.PIPE_STALL,
     }
 )
 

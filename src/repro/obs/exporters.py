@@ -11,6 +11,8 @@ Mapping choices:
 * CALL/RET become ``B``/``E`` duration slices (the call tree), plus a
   ``C`` counter track of call depth;
 * window overflow/underflow and traps are instant events;
+* pipeline-model stalls are instant events plus a cumulative per-cause
+  ``C`` counter track ("pipeline stalls");
 * retires are slices of their cycle cost (only present if the tracer
   recorded them — they are usually filtered at the source);
 * compiler phases and farm jobs are complete (``X``) slices on their own
@@ -126,6 +128,7 @@ def to_chrome(events: Iterable[Event]) -> dict:
     windows_spilled = 0
     windows_filled = 0
     handler_cycles = 0
+    stall_cycles = {"raw": 0, "load_use": 0, "control": 0, "window": 0}
 
     def add(record: dict) -> None:
         trace.append(record)
@@ -201,6 +204,23 @@ def to_chrome(events: Iterable[Event]) -> dict:
                 handler_cycles += data.get("cost", 0)
             if event.kind is not EventKind.TRAP:
                 add(_window_counter(ts, windows_spilled, windows_filled, handler_cycles))
+        elif event.kind is EventKind.PIPE_STALL:
+            add(
+                {
+                    "ph": "i",
+                    "pid": PID_MACHINE,
+                    "tid": 5,
+                    "ts": ts,
+                    "s": "t",
+                    "name": f"stall.{data.get('cause', '?')}",
+                    "args": dict(data),
+                }
+            )
+            # cumulative per-cause stall counter track: where in the run
+            # the pipeline model lost its cycles
+            cause = data.get("cause", "raw")
+            stall_cycles[cause] = stall_cycles.get(cause, 0) + data.get("cycles", 0)
+            add(_stall_counter(ts, stall_cycles))
         elif event.kind is EventKind.MEM_REF:
             add(
                 {
@@ -266,6 +286,17 @@ def _window_counter(ts: float, spilled: int, filled: int, cycles: int) -> dict:
         "ts": ts,
         "name": "window pressure",
         "args": {"spilled": spilled, "filled": filled, "handler cycles": cycles},
+    }
+
+
+def _stall_counter(ts: float, stalls: dict) -> dict:
+    return {
+        "ph": "C",
+        "pid": PID_MACHINE,
+        "tid": 5,
+        "ts": ts,
+        "name": "pipeline stalls",
+        "args": dict(stalls),
     }
 
 

@@ -157,6 +157,11 @@ def make_record(
         "exit_code": result.exit_code,
         "output_sha": sha256(result.output.encode()).hexdigest()[:16],
         "stats": result.stats.to_dict(),
+        "pipeline": (
+            result.pipeline.to_dict()
+            if getattr(result, "pipeline", None) is not None
+            else None
+        ),
         "metrics": metrics,
         "wall_s": round(wall_s, 6) if wall_s is not None else None,
         "steps_per_s": steps_per_s,
@@ -432,7 +437,9 @@ def maybe_record_run(
 _ARCHITECTURAL_FIELDS = ("machine", "exit_code", "output_sha")
 
 #: Record fields expected to vary run-to-run; differences are reported as
-#: informational, never as divergence.
+#: informational, never as divergence.  ``pipeline`` is the uarch timing
+#: model's accounting — timing-class, like ``wall_s``: a config change
+#: legitimately moves it without the architecture diverging.
 _INFORMATIONAL_FIELDS = (
     "timestamp",
     "wall_s",
@@ -445,6 +452,7 @@ _INFORMATIONAL_FIELDS = (
     "run_id",
     "schema",
     "engine",
+    "pipeline",
 )
 
 

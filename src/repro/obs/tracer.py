@@ -133,6 +133,22 @@ class Tracer:
     def trap(self, cycles: int, pc: int, kind: str, detail: str) -> None:
         self.emit(Event(EventKind.TRAP, self._us(cycles), pc, {"trap": kind, "detail": detail}))
 
+    def pipe_stall(self, cycles: int, pc: int, cause: str, cost: int) -> None:
+        """A pipeline-model stall: ``cost`` bubble cycles charged to ``cause``.
+
+        Timestamps are *pipeline-model* cycles on the same cycle-period
+        timeline as the architectural events — close to, but not
+        interleaved with, the architectural cycle counter.
+        """
+        self.emit(
+            Event(
+                EventKind.PIPE_STALL,
+                self._us(cycles),
+                pc,
+                {"cause": cause, "cycles": cost},
+            )
+        )
+
     # toolchain / farm events (timestamps in wall microseconds) -------------
 
     def phase(self, name: str, start_us: float, dur_us: float, **data) -> None:

@@ -1,0 +1,182 @@
+"""Configuration of the 5-stage pipeline timing model.
+
+One frozen :class:`UarchConfig` names everything the model can vary —
+the forwarding matrix, the branch predictor and its table size, the
+misprediction flush cost, and the memory-port occupancy of a load or
+store — so a configuration is hashable (usable as a cache or table key)
+and serializes to the one-line ``KEY=VALUE,...`` spec the ``--uarch``
+CLI flags accept.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "DEFAULT_UARCH",
+    "FORWARDING_MODES",
+    "PREDICTORS",
+    "UarchConfig",
+    "parse_uarch_config",
+    "resolve_uarch",
+]
+
+#: Forwarding matrix settings, from no bypass network to a full one:
+#:
+#: * ``none``  — every result reaches consumers through the register file
+#:   (written in WB, read in ID with write-first/read-second semantics);
+#: * ``ex``    — the EX→EX ALU bypass only; load results still wait for WB;
+#: * ``full``  — ALU EX→EX plus the MEM→EX load path (the classic
+#:   interlock: one bubble only when a load's value is used by the very
+#:   next instruction).
+FORWARDING_MODES = ("none", "ex", "full")
+
+#: Branch predictor hierarchy, weakest to strongest.
+PREDICTORS = ("not_taken", "backward", "bht2")
+
+
+@dataclasses.dataclass(frozen=True)
+class UarchConfig:
+    """One pipeline-model configuration (hashable, serializable)."""
+
+    #: forwarding matrix, one of :data:`FORWARDING_MODES`
+    forwarding: str = "full"
+    #: branch predictor, one of :data:`PREDICTORS`
+    predictor: str = "bht2"
+    #: entries in the 2-bit branch history table (power of two)
+    bht_entries: int = 256
+    #: cycles squashed when a conditional branch was predicted wrong
+    #: (the wrong-path fetches between IF and the EX resolution)
+    mispredict_penalty: int = 2
+    #: EX/MEM occupancy of a load or store — 2 matches the machine's
+    #: two-cycle memory instructions (one memory port, no cache)
+    mem_port_cycles: int = 2
+    #: pipeline depth; 5 is IF/ID/EX/MEM/WB
+    depth: int = 5
+
+    def __post_init__(self):
+        if self.forwarding not in FORWARDING_MODES:
+            raise ValueError(
+                f"unknown forwarding mode {self.forwarding!r}; "
+                f"expected one of {', '.join(FORWARDING_MODES)}"
+            )
+        if self.predictor not in PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; "
+                f"expected one of {', '.join(PREDICTORS)}"
+            )
+        if self.bht_entries < 1 or self.bht_entries & (self.bht_entries - 1):
+            raise ValueError(f"bht_entries must be a power of two, got {self.bht_entries}")
+        if self.mispredict_penalty < 0:
+            raise ValueError("mispredict_penalty must be >= 0")
+        if self.mem_port_cycles < 1:
+            raise ValueError("mem_port_cycles must be >= 1")
+        if self.depth < 3:
+            raise ValueError("the model needs at least IF/ID/EX stages")
+
+    @property
+    def label(self) -> str:
+        """Short display name, e.g. ``bht2/full``."""
+        return f"{self.predictor}/{self.forwarding}"
+
+    def spec(self) -> str:
+        """The canonical ``KEY=VALUE,...`` form :func:`parse_uarch_config` reads."""
+        return (
+            f"predictor={self.predictor},forwarding={self.forwarding},"
+            f"bht={self.bht_entries},mispredict={self.mispredict_penalty}"
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UarchConfig":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+
+#: The configuration a bare ``--uarch`` means.
+DEFAULT_UARCH = UarchConfig()
+
+_KEY_ALIASES = {
+    "predictor": "predictor",
+    "pred": "predictor",
+    "forwarding": "forwarding",
+    "fwd": "forwarding",
+    "bht": "bht_entries",
+    "bht_entries": "bht_entries",
+    "mispredict": "mispredict_penalty",
+    "mispredict_penalty": "mispredict_penalty",
+    "mem": "mem_port_cycles",
+    "mem_port_cycles": "mem_port_cycles",
+    "depth": "depth",
+}
+
+_INT_FIELDS = ("bht_entries", "mispredict_penalty", "mem_port_cycles", "depth")
+
+
+def parse_uarch_config(spec: str) -> UarchConfig:
+    """Parse a ``--uarch`` spec into a :class:`UarchConfig`.
+
+    Accepts comma- (or slash-) separated tokens; each is either a
+    ``key=value`` pair (keys: ``predictor``, ``forwarding``, ``bht``,
+    ``mispredict``, ``mem``, ``depth``) or a bare predictor / forwarding
+    name.  ``"base"``, ``"default"`` and the empty string name the
+    default configuration::
+
+        parse_uarch_config("bht2/full")
+        parse_uarch_config("predictor=backward,mispredict=3")
+    """
+    text = (spec or "").strip().lower()
+    if text in ("", "base", "default", "on", "1", "true"):
+        return DEFAULT_UARCH
+    values: dict = {}
+    for token in text.replace("/", ",").split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" in token:
+            key, _, value = token.partition("=")
+            field = _KEY_ALIASES.get(key.strip())
+            if field is None:
+                raise ValueError(
+                    f"unknown uarch key {key.strip()!r} in {spec!r} "
+                    f"(known: {', '.join(sorted(set(_KEY_ALIASES)))})"
+                )
+            value = value.strip()
+            if field in _INT_FIELDS:
+                try:
+                    values[field] = int(value)
+                except ValueError:
+                    raise ValueError(f"uarch key {key!r} needs an integer, got {value!r}")
+            else:
+                values[field] = value
+        elif token in PREDICTORS:
+            values["predictor"] = token
+        elif token in FORWARDING_MODES:
+            values["forwarding"] = token
+        else:
+            raise ValueError(
+                f"unknown uarch token {token!r} in {spec!r} (expected KEY=VALUE, "
+                f"a predictor: {', '.join(PREDICTORS)}, "
+                f"or a forwarding mode: {', '.join(FORWARDING_MODES)})"
+            )
+    return UarchConfig(**values)
+
+
+def resolve_uarch(uarch) -> UarchConfig | None:
+    """Normalize a ``run(uarch=...)`` argument.
+
+    ``None``/``False`` mean off; ``True`` means the default configuration;
+    strings go through :func:`parse_uarch_config`; a :class:`UarchConfig`
+    passes through.
+    """
+    if uarch is None or uarch is False:
+        return None
+    if uarch is True:
+        return DEFAULT_UARCH
+    if isinstance(uarch, UarchConfig):
+        return uarch
+    if isinstance(uarch, str):
+        return parse_uarch_config(uarch)
+    raise TypeError(f"uarch must be None, bool, str or UarchConfig, not {type(uarch)!r}")

@@ -1,0 +1,334 @@
+"""The 5-stage pipeline cycle-accounting model.
+
+This is a *timing* model layered over the architectural simulator's
+retired-instruction stream — it never executes anything, so the
+bit-identical differential harness (``tests/test_engine_diff.py``)
+remains the correctness gate while this module answers the paper's
+microarchitectural question: does one instruction really leave the
+pipeline every cycle?
+
+The model is the classic in-order single-issue IF/ID/EX/MEM/WB pipe
+(the modern RV32 blueprint of RVCoreP / basic_RV32s, which is also the
+paper's own three-stage machine grown to the textbook five stages):
+
+* instruction ``i`` enters EX at cycle ``e_i = max(next_free, ready)``
+  where ``next_free`` covers the previous instruction's EX/MEM occupancy
+  (a load or store holds the single memory port for
+  ``mem_port_cycles``), plus any control-flush or window-drain cycles;
+* ``ready`` is the RAW-hazard constraint: a consumer may enter EX no
+  earlier than ``producer_ex + latency``, with latency set by the
+  forwarding matrix (see :class:`~repro.uarch.config.UarchConfig`):
+
+  ============  =========  ==========
+  forwarding    ALU lat    load lat
+  ============  =========  ==========
+  ``none``      3 (WB)     3 (WB)
+  ``ex``        1 (EX→EX)  3 (WB)
+  ``full``      1 (EX→EX)  2 (MEM→EX)
+  ============  =========  ==========
+
+  so under ``full`` the only data stall is the one-bubble load-use
+  interlock, and the no-bypass pipe pays up to two bubbles per
+  dependent pair;
+* delayed control transfers always execute their slot (RISC I
+  semantics); the model scores each dynamic slot as *filled* (useful
+  work) or a *nop* (the bubble the optimizer failed to hide);
+* conditional branches are predicted at fetch and resolved two retires
+  later (branch, slot, then the first instruction on the resolved
+  path); a misprediction squashes ``mispredict_penalty`` wrong-path
+  fetch cycles.  Unconditional transfers need no prediction: their
+  targets are computed by the address adder during decode and the delay
+  slot hides the fetch bubble — exactly the paper's delayed-jump
+  argument;
+* register-window overflow/underflow handlers drain the pipe for the
+  handler cycles the architectural model already charges
+  (``stats.overflow_cycles``), reported in the ``window`` stall bucket.
+
+Condition codes are assumed always forwarded (the PSW bits ride the
+ALU's bypass paths for free in all three matrices); only register
+operands create hazards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.obs.events import EventKind
+from repro.uarch.config import UarchConfig
+from repro.uarch.predictors import make_predictor
+
+__all__ = ["PipelineModel", "PipelineStats", "STALL_KINDS"]
+
+#: RAW latencies (ALU, load) per forwarding mode, in EX-to-EX cycles.
+_LATENCIES = {
+    "none": (3, 3),
+    "ex": (1, 3),
+    "full": (1, 2),
+}
+
+#: The stall buckets, in reporting order.
+STALL_KINDS = ("raw", "load_use", "control", "window", "structural")
+
+
+@dataclasses.dataclass
+class PipelineStats:
+    """Cycle accounting for one run through the pipeline model."""
+
+    machine: str = "risc1"
+    config: dict = dataclasses.field(default_factory=dict)
+    instructions: int = 0
+    #: total pipeline cycles (fill + issue + every stall below)
+    cycles: int = 0
+    #: pipeline fill (depth - 1 cycles to first retire)
+    fill_cycles: int = 0
+    #: RAW-hazard bubbles whose binding producer was an ALU result
+    raw_stalls: int = 0
+    #: RAW-hazard bubbles whose binding producer was a load
+    load_use_stalls: int = 0
+    #: wrong-path fetch cycles squashed on branch mispredictions
+    control_stalls: int = 0
+    #: pipeline-drain cycles for window overflow/underflow handlers
+    window_stalls: int = 0
+    #: extra EX/MEM occupancy of multi-cycle instructions (the memory
+    #: port for RISC I loads/stores; microcode iteration for the VAX)
+    structural_stalls: int = 0
+    #: conditional branches resolved / predicted correctly / taken
+    branches: int = 0
+    branch_hits: int = 0
+    branches_taken: int = 0
+    #: conditional branches still unresolved when the run halted
+    branches_unresolved: int = 0
+    #: dynamic delayed-branch slots: total, carrying useful work, nops
+    delay_slots: int = 0
+    delay_slots_filled: int = 0
+    delay_slot_nops: int = 0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def mispredicts(self) -> int:
+        return self.branches - self.branch_hits
+
+    @property
+    def predictor_accuracy(self) -> float:
+        return self.branch_hits / self.branches if self.branches else 1.0
+
+    @property
+    def stall_cycles(self) -> int:
+        return (
+            self.raw_stalls
+            + self.load_use_stalls
+            + self.control_stalls
+            + self.window_stalls
+            + self.structural_stalls
+        )
+
+    @property
+    def slot_fill_rate(self) -> float:
+        return self.delay_slots_filled / self.delay_slots if self.delay_slots else 0.0
+
+    def stall_breakdown(self) -> dict[str, int]:
+        """Stall cycles per bucket, in :data:`STALL_KINDS` order."""
+        return {
+            "raw": self.raw_stalls,
+            "load_use": self.load_use_stalls,
+            "control": self.control_stalls,
+            "window": self.window_stalls,
+            "structural": self.structural_stalls,
+        }
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        # derived values are serialized too so ledger records and
+        # BENCH_*.json files are self-describing without this class
+        payload["cpi"] = round(self.cpi, 4)
+        payload["mispredicts"] = self.mispredicts
+        payload["predictor_accuracy"] = round(self.predictor_accuracy, 4)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineStats":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+    def summary(self) -> str:
+        """A human-readable block, in the style of ``ExecutionStats.summary``."""
+        config = UarchConfig.from_dict(self.config) if self.config else UarchConfig()
+        lines = [
+            f"pipeline model        : {config.depth}-stage, {config.label}",
+            f"pipeline cycles       : {self.cycles}",
+            f"pipeline CPI          : {self.cpi:.3f}",
+            "stalls                : "
+            f"raw {self.raw_stalls}, load-use {self.load_use_stalls}, "
+            f"control {self.control_stalls}, window {self.window_stalls}, "
+            f"structural {self.structural_stalls}",
+            f"cond branches         : {self.branches} "
+            f"({self.branches_taken} taken, {self.mispredicts} mispredicted, "
+            f"{100.0 * self.predictor_accuracy:.1f}% accuracy)",
+            f"delay slots           : {self.delay_slots} "
+            f"({self.delay_slots_filled} filled, {self.delay_slot_nops} nops)",
+        ]
+        return "\n".join(lines)
+
+
+class PipelineModel:
+    """Cycle accounting for one run, fed one retired instruction at a time.
+
+    Adapters (:mod:`repro.uarch.adapters`) translate each machine's
+    retired stream into :meth:`observe` calls using abstract register
+    ids (physical indices for RISC I so window overlap aliases
+    correctly, architectural numbers for the VAX).  The model never
+    touches machine state.
+    """
+
+    def __init__(self, config: UarchConfig | None = None, machine: str = "risc1",
+                 tracer=None):
+        self.config = config or UarchConfig()
+        self.machine = machine
+        self.predictor = make_predictor(self.config)
+        self.stats = PipelineStats(machine=machine, config=self.config.to_dict())
+        self._alu_lat, self._load_lat = _LATENCIES[self.config.forwarding]
+        #: EX cycle of the previous issue; first instruction's EX is 2
+        self._next_free = 2
+        self._issued = 0
+        #: reg id -> (producer EX cycle, producer was a load)
+        self._avail: dict[int, tuple[int, bool]] = {}
+        #: unresolved conditional branches: [retires left, pc, predicted
+        #: taken, fall-through pc]
+        self._pending: list[list] = []
+        self._in_delay_slot = False
+        self._tracer = tracer
+        self._trace_stall = tracer is not None and tracer.wants(EventKind.PIPE_STALL)
+
+    # -- feeding -----------------------------------------------------------
+
+    def note_window_cycles(self, cycles: int) -> None:
+        """Charge a window overflow/underflow handler's drain cycles."""
+        if cycles > 0:
+            self._next_free += cycles
+            self.stats.window_stalls += cycles
+            if self._trace_stall:
+                self._tracer.pipe_stall(self._next_free, 0, "window", cycles)
+
+    def observe(
+        self,
+        pc: int,
+        reads: tuple,
+        writes: tuple,
+        *,
+        is_load: bool = False,
+        occupancy: int = 1,
+        delayed: bool = False,
+        conditional: bool = False,
+        static_target: int | None = None,
+        fallthrough: int | None = None,
+        resolve_after: int = 2,
+        is_nop: bool = False,
+    ) -> None:
+        """Account one retired instruction.
+
+        ``reads``/``writes`` are abstract register ids; ``occupancy`` is
+        the EX/MEM cycles the instruction holds the pipe (loads/stores
+        hold the memory port, VAX instructions their microcode);
+        ``delayed`` marks a control transfer with a delay slot;
+        ``conditional`` opts the transfer into branch prediction, with
+        the outcome read from the retired PC stream ``resolve_after``
+        retires later (2 for delayed-branch machines: slot, then the
+        resolved-path instruction).
+        """
+        stats = self.stats
+        stats.instructions += 1
+
+        # resolve conditional branches whose outcome this pc reveals
+        if self._pending:
+            still = []
+            for entry in self._pending:
+                entry[0] -= 1
+                if entry[0] > 0:
+                    still.append(entry)
+                    continue
+                taken = pc != entry[3]
+                self.predictor.update(entry[1], taken)
+                stats.branches += 1
+                if taken:
+                    stats.branches_taken += 1
+                if entry[2] == taken:
+                    stats.branch_hits += 1
+                else:
+                    penalty = self.config.mispredict_penalty
+                    self._next_free += penalty
+                    stats.control_stalls += penalty
+                    if self._trace_stall and penalty:
+                        self._tracer.pipe_stall(self._next_free, entry[1], "control", penalty)
+            self._pending = still
+
+        # delayed-branch slot accounting
+        if self._in_delay_slot:
+            self._in_delay_slot = False
+            stats.delay_slots += 1
+            if is_nop:
+                stats.delay_slot_nops += 1
+            else:
+                stats.delay_slots_filled += 1
+
+        # RAW hazards against the forwarding matrix
+        earliest = self._next_free
+        ex = earliest
+        if reads:
+            avail = self._avail
+            binding_load = False
+            for reg in reads:
+                producer = avail.get(reg)
+                if producer is None:
+                    continue
+                ready = producer[0] + (self._load_lat if producer[1] else self._alu_lat)
+                if ready > ex:
+                    ex = ready
+                    binding_load = producer[1]
+            stall = ex - earliest
+            if stall:
+                if binding_load:
+                    stats.load_use_stalls += stall
+                else:
+                    stats.raw_stalls += stall
+                if self._trace_stall:
+                    self._tracer.pipe_stall(
+                        ex, pc, "load_use" if binding_load else "raw", stall
+                    )
+
+        # issue: occupy EX/MEM for this instruction's cycles
+        self._issued += 1
+        self._next_free = ex + occupancy
+        if occupancy > 1:
+            stats.structural_stalls += occupancy - 1
+
+        for reg in writes:
+            self._avail[reg] = (ex, is_load)
+
+        if delayed:
+            self._in_delay_slot = True
+        if conditional:
+            predicted = self.predictor.predict(pc, static_target)
+            self._pending.append([resolve_after, pc, predicted, fallthrough])
+
+    # -- finishing ---------------------------------------------------------
+
+    def finalize(self) -> PipelineStats:
+        """Close the run and return the finished :class:`PipelineStats`.
+
+        Branches whose outcome the halt cut off are counted as
+        unresolved, not guessed.
+        """
+        stats = self.stats
+        stats.branches_unresolved = len(self._pending)
+        self._pending = []
+        if self._issued:
+            depth = self.config.depth
+            stats.fill_cycles = depth - 1
+            # last EX cycle was _next_free - occupancy; the last
+            # instruction leaves the pipe (depth - 2) cycles after its
+            # EX-completion cycle, and cycle indices start at 0
+            stats.cycles = self._next_free + depth - 3
+        return stats

@@ -1,0 +1,104 @@
+"""The branch predictor hierarchy of the pipeline timing model.
+
+Three predictors, in increasing strength, all sharing one two-method
+interface — ``predict(pc, static_target)`` before the branch resolves and
+``update(pc, taken)`` after — so the pipeline model is predictor-agnostic:
+
+* **always-not-taken** — what a pipeline with no prediction hardware
+  does: keep fetching sequentially and squash on a taken branch;
+* **static backward-taken** — the classic compile-time heuristic: a
+  branch whose target lies *behind* it closes a loop and is predicted
+  taken; forward (and register-indirect, target-unknown) branches are
+  predicted not taken;
+* **2-bit BHT** — a direct-mapped table of two-bit saturating counters
+  indexed by the branch PC, the paper-era dynamic predictor (Smith 1981,
+  contemporaneous with RISC I itself).
+
+Predictors are pure decision state; hit/miss accounting lives in the
+pipeline model so every predictor is scored identically.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import UarchConfig
+
+__all__ = [
+    "AlwaysNotTaken",
+    "BackwardTaken",
+    "TwoBitBHT",
+    "make_predictor",
+]
+
+
+class AlwaysNotTaken:
+    """Predict fall-through for every conditional branch."""
+
+    name = "not_taken"
+
+    def predict(self, pc: int, static_target: int | None) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BackwardTaken:
+    """Static heuristic: backward branches (loops) taken, forward not.
+
+    Register-indirect branches have no static target and predict not
+    taken.
+    """
+
+    name = "backward"
+
+    def predict(self, pc: int, static_target: int | None) -> bool:
+        return static_target is not None and static_target < pc
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class TwoBitBHT:
+    """Direct-mapped branch history table of 2-bit saturating counters.
+
+    Counter states 0/1 predict not taken, 2/3 taken; one mispredict from
+    a saturated state only weakens the prediction, so a loop-closing
+    branch survives its single exit mispredict per trip.  Counters start
+    at 1 (weakly not taken).  Word-aligned PCs index the table with the
+    low bits above the alignment.
+    """
+
+    name = "bht2"
+
+    def __init__(self, entries: int = 256):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"BHT entries must be a power of two, got {entries}")
+        self.entries = entries
+        self.table = [1] * entries
+        self._mask = entries - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int, static_target: int | None) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+
+
+def make_predictor(config: UarchConfig):
+    """Instantiate the predictor a configuration names."""
+    if config.predictor == "not_taken":
+        return AlwaysNotTaken()
+    if config.predictor == "backward":
+        return BackwardTaken()
+    if config.predictor == "bht2":
+        return TwoBitBHT(config.bht_entries)
+    raise ValueError(f"unknown predictor {config.predictor!r}")

@@ -370,3 +370,46 @@ class TestStepLimitParity:
         assert fast == reference
         assert reference["outcome"][0] == "limit"
         assert reference["outcome"][3]["instructions"] == 500
+
+
+class TestPipelineParity:
+    """The uarch timing model rides the retired-instruction hook, so its
+    accounting must be bit-identical across engines for both machines —
+    the fast paths fall back to their exact loops when a hook is live."""
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_risc_pipeline_stats(self, name):
+        program = workload_program(name, "risc1")
+        runs = {}
+        for engine in ("reference", "fast"):
+            cpu = CPU()
+            cpu.load(program)
+            result = cpu.run(max_steps=5_000_000, engine=engine, uarch=True)
+            runs[engine] = result.pipeline.to_dict()
+        assert runs["fast"] == runs["reference"]
+        assert runs["fast"]["instructions"] > 0
+        assert runs["fast"]["cycles"] >= runs["fast"]["instructions"]
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_vax_pipeline_stats(self, name):
+        program = workload_program(name, "cisc")
+        runs = {}
+        for engine in ("reference", "fast"):
+            cpu = VaxCPU()
+            cpu.load(program)
+            result = cpu.run(max_steps=5_000_000, engine=engine, uarch=True)
+            runs[engine] = result.pipeline.to_dict()
+        assert runs["fast"] == runs["reference"]
+        assert runs["fast"]["instructions"] > 0
+
+    def test_risc_pipeline_under_window_pressure(self):
+        """Window spill/fill drain cycles must agree across engines too."""
+        program = workload_program("towers", "risc1")
+        runs = {}
+        for engine in ("reference", "fast"):
+            cpu = CPU(num_windows=2)
+            cpu.load(program)
+            result = cpu.run(max_steps=5_000_000, engine=engine, uarch=True)
+            runs[engine] = result.pipeline.to_dict()
+        assert runs["fast"] == runs["reference"]
+        assert runs["fast"]["window_stalls"] > 0

@@ -361,3 +361,30 @@ def test_make_record_is_schema_versioned(compiled):
     record = make_record(result, engine="fast", wall_s=1.0, workload="fib")
     assert record["schema"] == LEDGER_SCHEMA_VERSION
     assert len(record["run_id"]) == 16
+
+
+class TestPipelineField:
+    def test_record_carries_pipeline_stats(self, compiled, ledger):
+        with ledger_context(workload="fib", source="test"):
+            run_compiled(compiled, record=ledger, uarch=True)
+        record = ledger.records()[0]
+        assert record["pipeline"] is not None
+        assert record["pipeline"]["instructions"] == record["stats"]["instructions"]
+        assert record["pipeline"]["config"]["predictor"] == "bht2"
+
+    def test_pipeline_is_informational_not_divergence(self, compiled, ledger):
+        """Timing-model deltas (different uarch config, or on vs off) must
+        never read as architectural divergence — the model is accounting
+        layered over the same retired stream."""
+        with ledger_context(workload="fib", source="test"):
+            run_compiled(compiled, record=ledger, uarch="bht2/full")
+            run_compiled(compiled, record=ledger, uarch="not_taken/none")
+            run_compiled(compiled, record=ledger)  # uarch off
+        with_bht, with_nt, without = ledger.records()
+        assert with_bht["pipeline"]["cycles"] != with_nt["pipeline"]["cycles"]
+        diff = diff_records(with_bht, with_nt)
+        assert diff.clean
+        assert "pipeline" in diff.informational
+        off_diff = diff_records(with_bht, without)
+        assert off_diff.clean
+        assert "pipeline" in off_diff.informational
