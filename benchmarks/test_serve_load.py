@@ -1,0 +1,190 @@
+"""Load benchmark for the farm's HTTP front door (``repro.farm serve``).
+
+Boots the server in-process (its own event loop on a background thread),
+then opens over a thousand truly concurrent client connections — a
+duplicate-heavy mix of ``POST /jobs``, ``GET /status``, ``GET /healthz``
+and malformed specs — and emits ``BENCH_serve.json``.
+
+The gates mirror the deployment contract:
+
+* zero 5xx responses under load (malformed specs get structured 400s);
+* in-flight dedupe holds: duplicate specs never re-dispatch, so each
+  unique spec compiles/executes exactly once on the pool;
+* a SIGTERM-style drain afterwards finishes everything in flight.
+"""
+
+import asyncio
+import json
+import threading
+
+from conftest import once
+
+from repro.farm import serve as farm_serve
+
+#: total simultaneous client connections (the ISSUE floor is 1000)
+CLIENTS = 1100
+
+#: the duplicate-heavy spec mix; each unique spec must run exactly once
+UNIQUE_SPECS = [
+    {"workload": "towers", "kind": "execute"},
+    {"workload": "towers", "kind": "compile"},
+    {"workload": "sed", "kind": "execute"},
+    {"workload": "sed:REPS=2", "kind": "execute"},
+    {"workload": "qsort", "kind": "execute", "target": "cisc"},
+    {"workload": "string_search_e", "kind": "ir"},
+]
+
+BAD_SPEC = {"workload": "not_a_workload"}
+
+
+def _start_server(workers: int):
+    """Run ``serve`` on a daemon thread; returns (server, loop, thread, holder)."""
+    started = threading.Event()
+    holder = {}
+
+    def ready(server):
+        holder["server"] = server
+        holder["loop"] = server._server.get_loop()
+        started.set()
+
+    def runner():
+        holder["summary"] = asyncio.run(
+            farm_serve.run(port=0, workers=workers, ready=ready)
+        )
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(60), "serve did not come up"
+    return holder["server"], holder["loop"], thread, holder
+
+
+def _http(method: str, path: str, payload=None) -> bytes:
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: farm\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _one_client(host: str, port: int, request: bytes):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(request)
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        body = await reader.readexactly(length)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    return status, body
+
+
+async def _fire(host: str, port: int, requests: list[bytes]):
+    return await asyncio.gather(
+        *(_one_client(host, port, request) for request in requests)
+    )
+
+
+def _request_mix() -> tuple[list[bytes], dict]:
+    requests, counts = [], {"posts": 0, "bad_posts": 0, "gets": 0}
+    for i in range(CLIENTS):
+        if i % 9 == 7:
+            requests.append(_http("GET", "/status"))
+            counts["gets"] += 1
+        elif i % 9 == 8:
+            requests.append(_http("GET", "/healthz"))
+            counts["gets"] += 1
+        elif i % 37 == 17:
+            requests.append(_http("POST", "/jobs", BAD_SPEC))
+            counts["bad_posts"] += 1
+        else:
+            spec = UNIQUE_SPECS[i % len(UNIQUE_SPECS)]
+            requests.append(_http("POST", "/jobs", spec))
+            counts["posts"] += 1
+    return requests, counts
+
+
+def test_serve_load(benchmark, tmp_path, capsys, bench_json, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    workers = 2
+    server, loop, thread, holder = _start_server(workers)
+    host, port = server.host, server.port
+
+    requests, counts = _request_mix()
+
+    def _run(requests_subset):
+        inner = asyncio.new_event_loop()
+        try:
+            return inner.run_until_complete(_fire(host, port, requests_subset))
+        finally:
+            inner.close()
+
+    import time
+
+    t0 = time.perf_counter()
+    responses = once(benchmark, _run, requests)
+    wall_s = time.perf_counter() - t0
+
+    by_class = {}
+    for status, _ in responses:
+        by_class[status // 100] = by_class.get(status // 100, 0) + 1
+
+    # every unique spec finishes; ?wait= long-polls until terminal
+    keys = sorted(
+        {json.loads(body)["key"] for status, body in responses if status == 202}
+    )
+    finals = _run([_http("GET", f"/jobs/{key}?wait=60") for key in keys])
+    terminal = [json.loads(body) for _, body in finals]
+
+    status_doc = json.loads(_run([_http("GET", "/status")])[0][1])
+    server_counters = status_doc["server"]
+
+    # graceful drain, exactly what SIGTERM does
+    loop.call_soon_threadsafe(server.request_shutdown)
+    thread.join(120)
+    assert not thread.is_alive(), "serve did not drain"
+
+    results = {
+        "clients": CLIENTS,
+        "workers": workers,
+        "unique_specs": len(UNIQUE_SPECS),
+        **counts,
+        "wall_s": round(wall_s, 4),
+        "requests_per_s": round(CLIENTS / max(wall_s, 1e-9), 1),
+        "http_2xx": by_class.get(2, 0),
+        "http_4xx": by_class.get(4, 0),
+        "http_5xx": by_class.get(5, 0),
+        "specs_dispatched": server_counters["specs_dispatched"],
+        "deduped": server_counters["deduped_inflight"]
+        + server_counters["deduped_registry"],
+        "dedupe_hit_rate": server_counters["dedupe_hit_rate"],
+        "drain_ok": holder["summary"]["ok"],
+    }
+    bench_json("BENCH_serve.json", results)
+    with capsys.disabled():
+        print("\n" + json.dumps(results, indent=2))
+
+    assert by_class.get(5, 0) == 0, f"5xx under load: {by_class}"
+    assert server_counters["server_errors"] == 0
+    assert by_class.get(4, 0) == counts["bad_posts"]
+    assert by_class.get(2, 0) == CLIENTS - counts["bad_posts"]
+    # dedupe: every duplicate POST was answered without re-dispatch, so the
+    # pool compiled/executed each unique spec exactly once
+    assert server_counters["specs_dispatched"] == len(UNIQUE_SPECS)
+    assert results["deduped"] == counts["posts"] - len(UNIQUE_SPECS)
+    assert results["dedupe_hit_rate"] > 0
+    assert len(keys) == len(UNIQUE_SPECS)
+    for doc in terminal:
+        assert doc["state"] == "done", doc
+        assert doc["status"] in ("computed", "hit"), doc
+    assert holder["summary"]["ok"]

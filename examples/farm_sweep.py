@@ -1,13 +1,16 @@
-"""The simulation farm in a nutshell: run one benchmark sweep twice.
+"""The simulation farm in a nutshell: one client, one sweep run twice.
 
-The first sweep compiles and simulates every job; the second finds every
-artifact in the content-addressed cache and recomputes nothing.  The
-same machinery backs ``risc1-experiments --jobs N``.
+``FarmClient`` is the farm's single submission surface — the first sweep
+forks a persistent worker pool, compiles and simulates every job; the
+second finds every artifact in the content-addressed cache and
+recomputes nothing.  Individual jobs submit the same way (``submit``
+returns a future).  The same machinery backs ``risc1-experiments
+--jobs N`` and ``python -m repro.farm serve``.
 """
 
 import tempfile
 
-from repro.farm import ArtifactCache, run_sweep, sweep_jobs
+from repro.farm import ArtifactCache, FarmClient, JobSpec, sweep_jobs
 
 jobs = sweep_jobs(workloads=["towers", "sed"], scale="default")
 print(f"sweep: {len(jobs)} jobs over 2 workloads x 2 targets (+ IR profiles)")
@@ -15,9 +18,17 @@ for job in jobs:
     print(f"  {job.describe()}  key={job.key[:12]}...")
 
 with tempfile.TemporaryDirectory() as root:
-    cold = run_sweep(jobs, workers=2, cache=ArtifactCache(root))
-    print(f"\ncold run : {cold.summary()}")
-    warm = run_sweep(jobs, workers=2, cache=ArtifactCache(root))
-    print(f"warm run : {warm.summary()}")
-    assert warm.counts["computed"] == 0
+    with FarmClient(workers=2, cache=ArtifactCache(root)) as client:
+        cold = client.sweep(jobs)
+        print(f"\ncold run : {cold.summary()}")
+        warm = client.sweep(jobs)
+        print(f"warm run : {warm.summary()}")
+        assert warm.counts["computed"] == 0
+
+        # single-job submission: a JobSpec in the NAME[:ARG] grammar
+        future = client.submit(JobSpec(workload="sed:REPS=2"))
+        result = future.result(timeout=120)
+        print(f"\nsed:REPS=2 -> exit {result.exit_code}, "
+              f"{future.status().metrics['instructions']} instructions")
+
     print("\nwarm-cache sweep recomputed nothing — every artifact was a hit")

@@ -111,10 +111,11 @@ def _write_profiles(directory: str, spec: str) -> None:
 def _prewarm(scale: str, jobs: int) -> None:
     """Fill the farm's on-disk cache in parallel before the (serial) table
     code runs, so every ``common.compiled/executed/ir_profile`` call hits."""
+    from repro.farm.api import FarmClient
     from repro.farm.jobs import sweep_jobs
-    from repro.farm.scheduler import run_sweep
 
-    report = run_sweep(sweep_jobs(scale=scale), workers=jobs)
+    with FarmClient(workers=jobs) as client:
+        report = client.sweep(sweep_jobs(scale=scale))
     print(f"[farm: {report.summary()}]\n", file=sys.stderr)
 
 

@@ -3,9 +3,12 @@
 Compilation and simulation results are cached in two layers: a
 per-process ``functools.lru_cache`` (L1, so experiments sharing
 measurements — E8 and E9, for instance — pay for each run once per
-process) over the farm's content-addressed on-disk cache (L2, in
-:mod:`repro.farm`, so nothing is recompiled or re-simulated across
-invocations unless the workload source or the toolchain changed).
+process) over the farm's content-addressed on-disk cache (L2, so
+nothing is recompiled or re-simulated across invocations unless the
+workload source or the toolchain changed).  Submissions flow through
+the process-wide :func:`repro.farm.api.shared_client`, so every
+in-process consumer shares one in-flight dedupe map and the workload
+arguments use the common ``NAME[:ARG]`` spec grammar.
 Set ``REPRO_FARM_CACHE=0`` to disable the on-disk layer.
 
 Every simulated run here resolves its execution engine from
@@ -22,7 +25,7 @@ import functools
 from repro.cc.driver import CompiledProgram
 from repro.cc.irvm import IRResult
 from repro.core.cpu import CPU
-from repro.farm import runner as farm_runner
+from repro.farm.api import JobSpec, shared_client
 from repro.farm.jobs import workload_source
 from repro.obs.ledger import ledger_context
 from repro.obs.metrics import MetricsRegistry, record_machine_run
@@ -71,13 +74,16 @@ def metrics_registry() -> MetricsRegistry | None:
 
 @functools.lru_cache(maxsize=None)
 def compiled(name: str, target: str, scale: str = "default") -> CompiledProgram:
-    return farm_runner.compiled(name, target, scale)
+    """Compile a ``NAME[:ARG]`` workload spec through the shared farm client."""
+    spec = JobSpec(workload=name, kind="compile", target=target, scale=scale)
+    return shared_client().submit(spec).result()
 
 
 @functools.lru_cache(maxsize=None)
 def executed(name: str, target: str, scale: str = "default"):
     """Run a workload on its target simulator (output-verified by the farm)."""
-    result = farm_runner.executed(name, target, scale)
+    spec = JobSpec(workload=name, kind="execute", target=target, scale=scale)
+    result = shared_client().submit(spec).result()
     if _metrics is not None:
         record_machine_run(_metrics, result)
     return result
@@ -86,7 +92,7 @@ def executed(name: str, target: str, scale: str = "default"):
 @functools.lru_cache(maxsize=None)
 def ir_profile(name: str, scale: str = "default") -> IRResult:
     """Dynamic IR profile of a workload (verified against the oracle)."""
-    return farm_runner.ir_profile(name, scale)
+    return shared_client().submit(JobSpec(workload=name, kind="ir", scale=scale)).result()
 
 
 @functools.lru_cache(maxsize=None)

@@ -6,12 +6,19 @@ simulation jobs.  This package turns that grid into explicit, hashable
 
 * a content-addressed on-disk artifact cache (:mod:`repro.farm.cache`) so
   compiled programs and execution statistics survive across invocations;
-* a multiprocess scheduler (:mod:`repro.farm.scheduler`) that fans jobs
-  across worker processes with compile-before-run ordering and graceful
-  fallback to in-process execution;
+* a persistent worker pool (:mod:`repro.farm.pool`) forked once per client
+  lifetime, preloading the toolchain and pulling batched job dispatches
+  off a queue, with crash detection, one retry, and serial fallback;
+* the unified submission API (:mod:`repro.farm.api`):
+  :class:`FarmClient` with ``submit(JobSpec) -> FarmFuture`` and
+  ``sweep(jobs) -> FarmReport``, plus versioned JSON-round-trippable
+  :class:`JobSpec` / :class:`JobStatus` records;
+* an async HTTP/JSON front door (:mod:`repro.farm.serve`,
+  ``python -m repro.farm serve``) that dedupes in-flight submissions
+  against the content-addressed cache;
 * an append-only structured result store (:mod:`repro.farm.results`)
   recording every sweep as a JSONL manifest;
-* a command line (``python -m repro.farm run / status / gc``).
+* a command line (``python -m repro.farm run / status / gc / serve``).
 
 ``repro.experiments.common`` routes its compilation/simulation helpers
 through :mod:`repro.farm.runner`, keeping its per-process ``lru_cache`` as
@@ -20,6 +27,16 @@ the L1 layer on top of the farm's on-disk L2 cache.
 
 from __future__ import annotations
 
+from repro.farm.api import (
+    API_SCHEMA_VERSION,
+    FarmClient,
+    FarmFuture,
+    JobFailed,
+    JobSpec,
+    JobStatus,
+    SpecError,
+    shared_client,
+)
 from repro.farm.cache import ArtifactCache, CacheStats, default_cache_root
 from repro.farm.jobs import (
     Job,
@@ -29,23 +46,36 @@ from repro.farm.jobs import (
     sweep_jobs,
     toolchain_fingerprint,
 )
+from repro.farm.pool import PoolBroken, PoolOutcome, WorkerPool, default_batch_size
 from repro.farm.results import ResultStore
 from repro.farm.runner import run_job
 from repro.farm.scheduler import FarmReport, JobOutcome, run_sweep
 
 __all__ = [
+    "API_SCHEMA_VERSION",
     "ArtifactCache",
     "CacheStats",
+    "FarmClient",
+    "FarmFuture",
     "FarmReport",
     "Job",
+    "JobFailed",
     "JobOutcome",
+    "JobSpec",
+    "JobStatus",
+    "PoolBroken",
+    "PoolOutcome",
     "ResultStore",
+    "SpecError",
+    "WorkerPool",
     "compile_job",
+    "default_batch_size",
     "default_cache_root",
     "execute_job",
     "ir_job",
     "run_job",
     "run_sweep",
+    "shared_client",
     "sweep_jobs",
     "toolchain_fingerprint",
 ]

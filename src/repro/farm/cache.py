@@ -69,6 +69,14 @@ class ArtifactCache:
     def path_for(self, key: str, ext: str) -> Path:
         return self.objects_dir / key[:2] / f"{key}.{ext}"
 
+    def contains(self, key: str, ext: str) -> bool:
+        """Pure existence probe — touches no hit/miss accounting.
+
+        Used by the serve front door to answer duplicate submissions
+        straight from the content-addressed store without dispatching.
+        """
+        return self.path_for(key, ext).is_file()
+
     # -- raw blobs --------------------------------------------------------------
 
     def load_blob(self, key: str, ext: str) -> bytes | None:

@@ -3,6 +3,7 @@
 Subcommands::
 
     run     execute a (workload x target x scale) sweep, parallel and cached
+    serve   async HTTP/JSON front door sharing one warm worker pool
     status  show cache contents and the most recent run manifest record
     gc      evict least-recently-used artifacts down to a size budget
 """
@@ -13,11 +14,11 @@ import argparse
 import json
 import sys
 
+from repro.farm.api import FarmClient, SpecError
 from repro.farm.cache import ArtifactCache, default_cache_root
 from repro.farm.jobs import sweep_jobs
 from repro.farm.results import ResultStore
-from repro.farm.scheduler import run_sweep
-from repro.workloads import ALL_WORKLOADS
+from repro.workloads import ALL_WORKLOADS, parse_workload_spec
 
 
 def _cmd_run(args) -> int:
@@ -35,14 +36,20 @@ def _cmd_run(args) -> int:
         )
     workloads = args.workloads or None
     if workloads:
-        unknown = [name for name in workloads if name not in ALL_WORKLOADS]
-        if unknown:
-            print(
-                f"unknown workload(s): {', '.join(unknown)}; "
-                f"available: {', '.join(ALL_WORKLOADS)}",
-                file=sys.stderr,
-            )
-            return 2
+        # full NAME[:ARG] spec grammar, same as serve and the experiment CLI;
+        # a bad spec is a structured JSON error on stderr, never a traceback
+        for spec in workloads:
+            try:
+                parse_workload_spec(spec)
+            except ValueError as exc:
+                print(
+                    json.dumps(
+                        SpecError(str(exc), field="workload", value=spec).payload,
+                        sort_keys=True,
+                    ),
+                    file=sys.stderr,
+                )
+                return 2
     jobs = sweep_jobs(
         workloads=workloads,
         targets=tuple(args.targets.split(",")),
@@ -55,7 +62,10 @@ def _cmd_run(args) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    report = run_sweep(jobs, workers=args.jobs, cache=cache, tracer=tracer)
+    with FarmClient(
+        workers=args.jobs, cache=cache, batch_size=args.batch_size
+    ) as client:
+        report = client.sweep(jobs, tracer=tracer)
     if tracer is not None:
         from repro.obs import write_chrome_trace
 
@@ -81,6 +91,12 @@ def _cmd_run(args) -> int:
             if outcome.status == "failed":
                 print(f"FAILED {outcome.job.describe()}:\n{outcome.error}", file=sys.stderr)
     return 1 if report.counts["failed"] else 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.farm import serve
+
+    return serve.main(args)
 
 
 def _cmd_status(args) -> int:
@@ -134,7 +150,16 @@ def main(argv: list[str] | None = None) -> int:
         "--targets", default="risc1,cisc", help="comma-separated targets"
     )
     run_parser.add_argument(
-        "--workloads", nargs="*", help=f"subset of: {', '.join(ALL_WORKLOADS)}"
+        "--workloads",
+        nargs="*",
+        help="NAME[:ARG] workload specs (e.g. towers towers:12 "
+        f"bit_matrix_k:N=8); names: {', '.join(ALL_WORKLOADS)}",
+    )
+    run_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="jobs per worker dispatch (default: adaptive)",
     )
     run_parser.add_argument("--no-ir", action="store_true", help="skip IR profile jobs")
     run_parser.add_argument(
@@ -158,6 +183,23 @@ def main(argv: list[str] | None = None) -> int:
         "ledger (default root .repro-ledger, or PATH)",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve", help="async HTTP/JSON front door (POST /jobs, GET /status)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8421)
+    serve_parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=None, help="jobs per worker dispatch"
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for in-flight jobs on SIGTERM",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     status_parser = sub.add_parser("status", help="show cache and last-run state")
     status_parser.set_defaults(func=_cmd_status)

@@ -79,19 +79,32 @@ class Job:
     scale: str = "default"
     #: extra simulator configuration, sorted (name, value) pairs
     config: tuple[tuple[str, int], ...] = ()
+    #: ``PARAM_*`` overrides from a ``NAME:ARG`` workload spec, sorted
+    #: (name, value) pairs applied on top of the scale's parameters
+    params: tuple[tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("compile", "execute", "ir"):
             raise ValueError(f"unknown job kind {self.kind!r}")
-        if self.workload not in ALL_WORKLOADS:
+        workload = ALL_WORKLOADS.get(self.workload)
+        if workload is None:
             raise KeyError(f"unknown workload {self.workload!r}")
+        for name, _ in self.params:
+            if name not in workload.default_params:
+                raise KeyError(
+                    f"workload {self.workload!r} has no parameter {name!r} "
+                    f"(has: {sorted(workload.default_params)})"
+                )
 
     @property
     def key(self) -> str:
         return job_key(self)
 
     def describe(self) -> str:
-        return f"{self.kind}:{self.workload}:{self.target}:{self.scale}"
+        base = f"{self.kind}:{self.workload}:{self.target}:{self.scale}"
+        if self.params:
+            base += ":" + ",".join(f"{k}={v}" for k, v in self.params)
+        return base
 
     def to_dict(self) -> dict:
         return {
@@ -100,20 +113,34 @@ class Job:
             "target": self.target,
             "scale": self.scale,
             "config": [list(pair) for pair in self.config],
+            "params": [list(pair) for pair in self.params],
             "key": self.key,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Job":
+        """Rebuild a job from its :meth:`to_dict` form (``key`` is rederived)."""
+        return cls(
+            kind=payload["kind"],
+            workload=payload["workload"],
+            target=payload["target"],
+            scale=payload.get("scale", "default"),
+            config=tuple((str(k), int(v)) for k, v in payload.get("config", ())),
+            params=tuple((str(k), int(v)) for k, v in payload.get("params", ())),
+        )
 
-def workload_source(name: str, scale: str) -> str:
-    """The workload's mini-C source at the requested scale."""
+
+def workload_source(name: str, scale: str, params: tuple = ()) -> str:
+    """The workload's mini-C source at the requested scale plus overrides."""
     workload = ALL_WORKLOADS[name]
-    params = workload.bench_params if scale == "bench" else {}
-    return workload.source(**params)
+    merged = dict(workload.bench_params) if scale == "bench" else {}
+    merged.update(dict(params))
+    return workload.source(**merged)
 
 
 @functools.lru_cache(maxsize=None)
-def _source_digest(name: str, scale: str) -> str:
-    return hashlib.sha256(workload_source(name, scale).encode()).hexdigest()[:16]
+def _source_digest(name: str, scale: str, params: tuple = ()) -> str:
+    return hashlib.sha256(workload_source(name, scale, params).encode()).hexdigest()[:16]
 
 
 def job_key(job: Job) -> str:
@@ -126,7 +153,11 @@ def job_key(job: Job) -> str:
         "target": job.target,
         "scale": job.scale,
         "config": [list(pair) for pair in sorted(job.config)],
-        "source": _source_digest(job.workload, job.scale),
+        # params reach the key through the source digest: overriding a
+        # PARAM_* global changes the source text, hence the artifact —
+        # and overriding a parameter to its current value correctly
+        # shares the existing artifact
+        "source": _source_digest(job.workload, job.scale, job.params),
         "toolchain": {m: stamps[m] for m in ("repro", *_MODULES_BY_KIND[job.kind])},
     }
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
@@ -136,8 +167,16 @@ def job_key(job: Job) -> str:
 # -- job builders -------------------------------------------------------------------
 
 
-def compile_job(workload: str, target: str, scale: str = "default") -> Job:
-    return Job("compile", workload, target, scale)
+def _normalize_params(params) -> tuple[tuple[str, int], ...]:
+    if not params:
+        return ()
+    if isinstance(params, dict):
+        params = params.items()
+    return tuple(sorted((str(k), int(v)) for k, v in params))
+
+
+def compile_job(workload: str, target: str, scale: str = "default", params=None) -> Job:
+    return Job("compile", workload, target, scale, params=_normalize_params(params))
 
 
 def execute_job(
@@ -145,6 +184,7 @@ def execute_job(
     target: str,
     scale: str = "default",
     max_instructions: int = MAX_INSTRUCTIONS,
+    params=None,
 ) -> Job:
     return Job(
         "execute",
@@ -152,11 +192,12 @@ def execute_job(
         target,
         scale,
         config=(("max_instructions", max_instructions),),
+        params=_normalize_params(params),
     )
 
 
-def ir_job(workload: str, scale: str = "default") -> Job:
-    return Job("ir", workload, "risc1", scale)
+def ir_job(workload: str, scale: str = "default", params=None) -> Job:
+    return Job("ir", workload, "risc1", scale, params=_normalize_params(params))
 
 
 def dependency(job: Job) -> Job | None:
@@ -167,7 +208,12 @@ def dependency(job: Job) -> Job | None:
     scheduler uses it to order waves so compiled programs are built once.
     """
     if job.kind in ("execute", "ir"):
-        return compile_job(job.workload, "risc1" if job.kind == "ir" else job.target, job.scale)
+        return compile_job(
+            job.workload,
+            "risc1" if job.kind == "ir" else job.target,
+            job.scale,
+            params=job.params,
+        )
     return None
 
 
@@ -177,13 +223,23 @@ def sweep_jobs(
     scale: str = "default",
     with_ir: bool = True,
 ) -> list[Job]:
-    """The full evaluation grid: compile + execute per target, plus IR profiles."""
-    names = list(workloads) if workloads else list(ALL_WORKLOADS)
+    """The full evaluation grid: compile + execute per target, plus IR profiles.
+
+    ``workloads`` entries are workload *specs* in the shared
+    ``NAME[:ARG]`` grammar (:func:`repro.workloads.parse_workload_spec`);
+    bare names behave exactly as before.  Raises :class:`ValueError` on
+    an unknown name or malformed argument.
+    """
+    from repro.workloads import parse_workload_spec
+
+    specs = list(workloads) if workloads else list(ALL_WORKLOADS)
     jobs: list[Job] = []
-    for name in names:
+    for spec in specs:
+        name, overrides = parse_workload_spec(spec)
+        params = _normalize_params(overrides)
         for target in targets:
-            jobs.append(compile_job(name, target, scale))
-            jobs.append(execute_job(name, target, scale))
+            jobs.append(compile_job(name, target, scale, params=params))
+            jobs.append(execute_job(name, target, scale, params=params))
         if with_ir:
-            jobs.append(ir_job(name, scale))
+            jobs.append(ir_job(name, scale, params=params))
     return jobs

@@ -59,14 +59,15 @@ def shared_cache() -> ArtifactCache:
     return _caches[key]
 
 
-def _expected_output(name: str, scale: str) -> str:
+def _expected_output(name: str, scale: str, params: tuple = ()) -> str:
     workload = ALL_WORKLOADS[name]
-    params = workload.bench_params if scale == "bench" else {}
-    return workload.expected_output(**params)
+    merged = dict(workload.bench_params) if scale == "bench" else {}
+    merged.update(dict(params))
+    return workload.expected_output(**merged)
 
 
 def _verify(job: Job, output: str) -> None:
-    expected = _expected_output(job.workload, job.scale)
+    expected = _expected_output(job.workload, job.scale, job.params)
     if output != expected:
         raise AssertionError(
             f"{job.describe()}: output {output!r} != expected {expected!r}"
@@ -88,7 +89,7 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
                     cache.stats.hits -= 1
                     cache.discard_corrupt(cache.path_for(job.key, "pkl"))
         value = compile_program(
-            workload_source(job.workload, job.scale),
+            workload_source(job.workload, job.scale, job.params),
             target=job.target,
             filename=f"{job.workload}.c",
         )
@@ -107,7 +108,9 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
                 cache.stats.hits -= 1
                 cache.discard_corrupt(cache.path_for(job.key, "json"))
 
-    program, _ = run_job(compile_job(job.workload, job.target, job.scale), cache)
+    program, _ = run_job(
+        compile_job(job.workload, job.target, job.scale, params=job.params), cache
+    )
     if job.kind == "ir":
         value = run_ir(program.ir)
     else:

@@ -1,29 +1,29 @@
-"""Multiprocess job scheduler for the simulation farm.
+"""Sweep orchestration types and the legacy ``run_sweep`` entry point.
 
-Jobs are fanned across a :class:`concurrent.futures.ProcessPoolExecutor`
-in dependency order — all compile jobs first, then the execution/IR jobs
-that consume their artifacts through the shared on-disk cache.  Workers
-return small outcome records (status + wall time + cache accounting), not
-the artifacts themselves; the artifacts land in the content-addressed
-cache where the parent (and every later process) reads them back.
+The scheduling itself now lives in :class:`repro.farm.api.FarmClient`
+(persistent worker pool, batched dispatch, serial fallback); this module
+keeps the report types every manifest/test/benchmark consumes —
+:class:`JobOutcome` and :class:`FarmReport` — plus the dependency-wave
+ordering and the in-process serial executor the client shares.
 
-If the pool cannot be used at all — a sandbox without working
-``multiprocessing``, a broken worker, an unpicklable job — the scheduler
-degrades gracefully: every job not yet completed runs serially in-process
-and the report says so, rather than the sweep failing.
+:func:`run_sweep` survives as a thin compatibility shim that constructs
+a one-shot client, emits a :class:`DeprecationWarning`, and preserves
+the historical semantics exactly (dependency waves, content-addressed
+cache behaviour, manifest record, ``parallel+fallback`` degradation).
+New code should hold a :class:`~repro.farm.api.FarmClient` instead — it
+keeps its worker pool alive across sweeps and exposes ``submit`` for
+single jobs.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import time
-import traceback
+import warnings
 
-from repro.farm.cache import ArtifactCache, CacheStats, default_cache_root
+from repro.farm.cache import ArtifactCache, CacheStats
 from repro.farm.jobs import Job, dependency
-from repro.farm.results import ResultStore
-from repro.farm.runner import cache_enabled, job_metrics, run_job
+from repro.farm.runner import job_metrics, run_job
 
 
 @dataclasses.dataclass
@@ -34,7 +34,7 @@ class JobOutcome:
     key: str
     status: str  # "hit" | "computed" | "failed"
     wall_s: float
-    worker: str  # "serial" or "pool"
+    worker: str  # "serial", or "pool:<worker id>" for pool execution
     error: str | None = None
     #: small per-job measurement record (cycles, instructions, code size)
     metrics: dict | None = None
@@ -42,7 +42,7 @@ class JobOutcome:
 
 @dataclasses.dataclass
 class FarmReport:
-    """Everything one :func:`run_sweep` invocation did."""
+    """Everything one sweep invocation did."""
 
     mode: str  # "serial" | "parallel" | "parallel+fallback"
     workers: int
@@ -86,28 +86,6 @@ def _job_waves(jobs: list[Job]) -> list[list[Job]]:
     return waves
 
 
-def _worker_execute(job: Job, cache_root: str | None) -> dict:
-    """Pool entry point: run one job, report outcome + cache accounting."""
-    cache = ArtifactCache(cache_root) if cache_root is not None else None
-    started = time.perf_counter()
-    metrics = None
-    try:
-        value, hit = run_job(job, cache)
-        status = "hit" if hit else "computed"
-        error = None
-        metrics = job_metrics(job, value)
-    except Exception:
-        status = "failed"
-        error = traceback.format_exc(limit=4)
-    return {
-        "status": status,
-        "wall_s": time.perf_counter() - started,
-        "error": error,
-        "metrics": metrics,
-        "cache": cache.stats.to_dict() if cache is not None else None,
-    }
-
-
 def _serial_outcome(job: Job, cache: ArtifactCache | None) -> JobOutcome:
     started = time.perf_counter()
     metrics = None
@@ -127,97 +105,24 @@ def run_sweep(
     workers: int = 1,
     cache: ArtifactCache | None = None,
     manifest: bool = True,
-    store: ResultStore | None = None,
+    store=None,
     tracer=None,
 ) -> FarmReport:
     """Run a batch of jobs, optionally in parallel, and record the manifest.
 
-    ``workers <= 1`` runs everything serially in-process.  With more
-    workers, jobs fan across a process pool in dependency waves; any pool
-    failure falls back to serial execution of the unfinished jobs.
-
-    An optional ``tracer`` records JOB_START/JOB_FINISH events in the
-    parent process (workers never see it — it is not sent across the
-    pool), giving a wall-clock timeline of the sweep.
+    .. deprecated::
+        ``run_sweep`` constructs (and tears down) a fresh worker pool
+        per call.  Hold a :class:`repro.farm.api.FarmClient` instead —
+        its pool is forked once and reused across sweeps and single
+        submissions — and call :meth:`FarmClient.sweep`.
     """
-    if cache is None and cache_enabled():
-        cache = ArtifactCache(default_cache_root())
-    cache_root = str(cache.root) if cache is not None else None
-    if tracer is not None and not getattr(tracer, "enabled", True):
-        tracer = None
+    from repro.farm.api import FarmClient
 
-    started = time.perf_counter()
-    outcomes: list[JobOutcome] = []
-    totals = CacheStats()
-    mode = "serial" if workers <= 1 else "parallel"
-
-    pool: concurrent.futures.ProcessPoolExecutor | None = None
-    try:
-        for wave in _job_waves(jobs):
-            if workers <= 1 or mode == "parallel+fallback":
-                for job in wave:
-                    if tracer is not None:
-                        tracer.job_start(job.key, job.describe())
-                    outcome = _serial_outcome(job, cache)
-                    if tracer is not None:
-                        tracer.job_finish(
-                            outcome.key, job.describe(), outcome.status, outcome.wall_s
-                        )
-                    outcomes.append(outcome)
-                continue
-            try:
-                if pool is None:
-                    pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-                futures = {pool.submit(_worker_execute, job, cache_root): job for job in wave}
-                if tracer is not None:
-                    for job in wave:
-                        tracer.job_start(job.key, job.describe())
-                for future in concurrent.futures.as_completed(futures):
-                    job = futures[future]
-                    record = future.result()
-                    outcome = JobOutcome(
-                        job,
-                        job.key,
-                        record["status"],
-                        record["wall_s"],
-                        "pool",
-                        record["error"],
-                        record.get("metrics"),
-                    )
-                    outcomes.append(outcome)
-                    if tracer is not None:
-                        tracer.job_finish(
-                            outcome.key, job.describe(), outcome.status, outcome.wall_s
-                        )
-                    if record["cache"]:
-                        totals.merge(CacheStats(**record["cache"]))
-            except Exception:
-                # pool machinery itself failed — finish this wave (and the
-                # rest of the sweep) serially rather than losing the run
-                mode = "parallel+fallback"
-                finished = {outcome.key for outcome in outcomes}
-                for job in wave:
-                    if job.key in finished:
-                        continue
-                    outcome = _serial_outcome(job, cache)
-                    if tracer is not None:
-                        tracer.job_finish(
-                            outcome.key, job.describe(), outcome.status, outcome.wall_s
-                        )
-                    outcomes.append(outcome)
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-
-    if cache is not None:
-        totals.merge(cache.stats)
-    report = FarmReport(mode, workers, time.perf_counter() - started, outcomes, totals)
-
-    if manifest and (store is not None or cache is not None):
-        if store is None:
-            store = ResultStore(cache.root / "runs.jsonl")
-        try:
-            store.append_run(report)
-        except OSError:
-            pass  # an unwritable manifest must not fail a finished sweep
-    return report
+    warnings.warn(
+        "run_sweep() is deprecated; use repro.farm.api.FarmClient.sweep() "
+        "(a persistent client reuses its worker pool across sweeps)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with FarmClient(workers=workers, cache=cache) as client:
+        return client.sweep(jobs, manifest=manifest, store=store, tracer=tracer)

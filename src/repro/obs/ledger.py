@@ -52,6 +52,7 @@ from typing import Any, Iterator
 __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "Ledger",
+    "LedgerShard",
     "RunDiff",
     "default_ledger_root",
     "diff_records",
@@ -309,6 +310,57 @@ class Ledger:
             )
         return matches[-1]
 
+    # -- per-worker shards ------------------------------------------------------
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.root / "shards"
+
+    def shard(self, name: str) -> "LedgerShard":
+        """A per-worker append-only shard of this ledger.
+
+        Farm pool workers write to their own shard file instead of
+        contending on (and fsyncing) the main records file; the parent
+        folds the shards back with :meth:`merge_shards`.
+        """
+        return LedgerShard(self.root, name)
+
+    def shard_files(self) -> list[Path]:
+        if not self.shards_dir.is_dir():
+            return []
+        return sorted(self.shards_dir.glob("*.jsonl"))
+
+    def merge_shards(self, remove: bool = True) -> int:
+        """Fold every shard's records into the main ledger; returns how many.
+
+        The merge is **idempotent**: records are deduplicated by
+        ``run_id`` against the main records file, so merging twice (or
+        re-merging after a crash mid-merge) never duplicates a run.
+        Torn trailing lines in a shard — a worker killed mid-write — are
+        skipped exactly like torn lines in the records file.
+        """
+        shard_paths = self.shard_files()
+        if not shard_paths:
+            return 0
+        seen = {r.get("run_id") for r in self.records()}
+        merged = 0
+        for path in shard_paths:
+            fresh = [
+                record
+                for record in self._read_jsonl(path)
+                if record.get("run_id") and record["run_id"] not in seen
+            ]
+            for record in fresh:
+                self.append(record)
+                seen.add(record["run_id"])
+                merged += 1
+            if remove:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # an unremovable shard just re-merges as a no-op
+        return merged
+
     # -- retention ------------------------------------------------------------
 
     def gc(self, keep: int) -> int:
@@ -340,6 +392,35 @@ class Ledger:
         return dropped
 
 
+class LedgerShard(Ledger):
+    """One worker's slice of a ledger: append-only, merge-later.
+
+    Appends go to ``shards/<name>.jsonl`` under the parent ledger's
+    root — one ``write()`` + flush per record, **no per-record fsync**
+    and no index maintenance (a crash loses at most the torn trailing
+    line, which :meth:`Ledger.merge_shards` skips).  Reads and every
+    other :class:`Ledger` operation still see the parent root, so a
+    shard can answer "what has been merged so far" if asked.
+    """
+
+    def __init__(self, root, name: str):
+        super().__init__(root)
+        self.shard_name = str(name)
+
+    @property
+    def shard_path(self) -> Path:
+        return self.shards_dir / f"{self.shard_name}.jsonl"
+
+    def append(self, record: dict) -> str:
+        if "run_id" not in record:
+            record = dict(record, run_id=_run_id(record))
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        with self.shard_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+            handle.flush()
+        return record["run_id"]
+
+
 # -- the opt-in hook ----------------------------------------------------------
 
 
@@ -351,19 +432,29 @@ def resolve_ledger(record=None) -> Ledger | None:
     ``$REPRO_LEDGER`` (off-values and unset → off, on-values → default
     root, anything else → a root path).  Returns ``None`` when recording
     is off.
+
+    When ``$REPRO_LEDGER_SHARD`` names a shard (set by farm pool
+    workers), the resolved ledger's appends are redirected to that
+    per-worker shard file; the pool merges shards on shutdown.
     """
+    ledger: Ledger | None
     if record is not None:
         if record is False:
             return None
-        if record is True:
-            return Ledger()
-        if isinstance(record, Ledger):
-            return record
-        return Ledger(record)
-    value = os.environ.get("REPRO_LEDGER", "")
-    if not value or value.lower() in _OFF_VALUES:
-        return None
-    return Ledger()
+        ledger = (
+            Ledger()
+            if record is True
+            else record if isinstance(record, Ledger) else Ledger(record)
+        )
+    else:
+        value = os.environ.get("REPRO_LEDGER", "")
+        if not value or value.lower() in _OFF_VALUES:
+            return None
+        ledger = Ledger()
+    shard = os.environ.get("REPRO_LEDGER_SHARD")
+    if shard and not isinstance(ledger, LedgerShard):
+        return ledger.shard(shard)
+    return ledger
 
 
 #: Metadata pushed by sinks that know more than the machine does.

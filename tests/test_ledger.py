@@ -388,3 +388,54 @@ class TestPipelineField:
         off_diff = diff_records(with_bht, without)
         assert off_diff.clean
         assert "pipeline" in off_diff.informational
+
+
+class TestShards:
+    """Per-worker ledger shards and their idempotent merge."""
+
+    def test_shard_appends_land_in_shard_file(self, ledger):
+        shard = ledger.shard("worker-0")
+        shard.append(synthetic(seq=1))
+        assert shard.shard_path.exists()
+        assert not (ledger.root / "records.jsonl").exists() or not ledger.records()
+        assert ledger.shard_files() == [shard.shard_path]
+
+    def test_merge_folds_shards_and_removes_them(self, ledger):
+        ledger.append(synthetic(seq=0))
+        ledger.shard("worker-0").append(synthetic(seq=1))
+        ledger.shard("worker-1").append(synthetic(seq=2))
+        assert ledger.merge_shards() == 2
+        assert ledger.shard_files() == []
+        assert {r["run_id"] for r in ledger.records()} == {
+            f"{seq:016x}" for seq in (0, 1, 2)
+        }
+
+    def test_merge_is_idempotent_by_run_id(self, ledger):
+        shard = ledger.shard("worker-0")
+        shard.append(synthetic(seq=1))
+        # a crash between merge and unlink re-merges the same shard file
+        assert ledger.merge_shards(remove=False) == 1
+        assert ledger.merge_shards(remove=True) == 0
+        assert ledger.merge_shards() == 0  # and nothing left behind
+        assert len(ledger.records()) == 1
+
+    def test_merge_skips_torn_final_line(self, ledger):
+        shard = ledger.shard("worker-0")
+        shard.append(synthetic(seq=1))
+        with shard.shard_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "torn-write-no-clos')  # killed mid-write
+        assert ledger.merge_shards() == 1
+        assert [r["run_id"] for r in ledger.records()] == [f"{1:016x}"]
+
+    def test_resolve_ledger_routes_to_shard(self, ledger, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger.root))
+        monkeypatch.setenv("REPRO_LEDGER_SHARD", "worker-7")
+        from repro.obs.ledger import LedgerShard
+
+        resolved = resolve_ledger()
+        assert isinstance(resolved, LedgerShard)
+        assert resolved.shard_name == "worker-7"
+        resolved.append(synthetic(seq=5))
+        assert resolved.shard_path.name == "worker-7.jsonl"
+        assert not ledger.records()  # nothing hit the main file yet
+        assert ledger.merge_shards() == 1
