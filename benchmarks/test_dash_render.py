@@ -1,0 +1,82 @@
+"""Benchmark harness for the operator console's render path.
+
+Builds a ledger with many synthetic trajectories, then times the two
+things the console does per refresh: assembling a
+:class:`~repro.obs.console.ConsoleSnapshot` from the ledger and
+rendering the full dashboard page from it.  Emits ``BENCH_dash.json``.
+Both paths sit on a 2-second default refresh interval, so they must stay
+far under it — the assertion bound is deliberately generous (CI machines
+are noisy), the JSON artifact is the trend to watch.
+"""
+
+import json
+import time
+
+from repro.obs.console import ConsoleProvider
+from repro.obs.dash import render_dashboard
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, Ledger
+
+TRAJECTORIES = 24
+RUNS_PER_TRAJECTORY = 40
+REPEATS = 5
+
+
+def _seed(root) -> Ledger:
+    ledger = Ledger(root)
+    for t in range(TRAJECTORIES):
+        for seq in range(RUNS_PER_TRAJECTORY):
+            ledger.append(
+                {
+                    "schema": LEDGER_SCHEMA_VERSION,
+                    "timestamp": 1000.0 + t * 1000 + seq,
+                    "source": "bench",
+                    "workload": f"wl{t:02d}",
+                    "scale": "default",
+                    "machine": "risc1",
+                    "engine": "fast",
+                    "exit_code": 0,
+                    "output_sha": "00" * 8,
+                    "stats": {"instructions": 1000 + seq},
+                    "steps_per_s": 1000.0
+                    + (seq % 7) * 10
+                    # every third trajectory craters ~40% on its last run
+                    - (400 if seq == RUNS_PER_TRAJECTORY - 1 and t % 3 == 0 else 0),
+                    "run_id": f"{t:04x}{seq:012x}",
+                }
+            )
+    return ledger
+
+
+def _best(fn):
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_dash_render(tmp_path, capsys, bench_json):
+    provider = ConsoleProvider(_seed(tmp_path / "ledger"))
+    snapshot_s = _best(provider.snapshot)
+    snapshot = provider.snapshot()
+    render_s = _best(lambda: render_dashboard(snapshot))
+    page = render_dashboard(snapshot)
+
+    results = {
+        "trajectories": TRAJECTORIES,
+        "runs": TRAJECTORIES * RUNS_PER_TRAJECTORY,
+        "repeats": REPEATS,
+        "snapshot_ms": round(snapshot_s * 1000.0, 3),
+        "render_ms": round(render_s * 1000.0, 3),
+        "page_bytes": len(page),
+        "regressions_flagged": len(snapshot.regressions),
+    }
+    bench_json("BENCH_dash.json", results)
+    with capsys.disabled():
+        print("\n" + json.dumps(results, indent=2))
+
+    assert f'data-trajectories="{TRAJECTORIES}"' in page
+    assert results["regressions_flagged"] > 0  # the seeded craters are seen
+    # one refresh must fit comfortably inside the 2 s default interval
+    assert snapshot_s + render_s < 2.0

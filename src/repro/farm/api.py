@@ -407,6 +407,7 @@ class FarmClient:
                 {
                     "alive_workers": pool.alive_workers,
                     "batch_size": pool.batch_size,
+                    "in_flight": pool.in_flight,
                     **pool.stats,
                 }
                 if pool is not None and pool._started

@@ -27,10 +27,14 @@ On boot the server prints one machine-readable line to stdout::
 into the main ledger, and the process exits 0 after printing a final
 ``{"drained": ...}`` line.
 
-The protocol layer is deliberately minimal (HTTP/1.1, one request per
-connection, ``Connection: close``) — the farm's job payloads are tiny
-JSON documents and the interesting concurrency lives in the pool, not
-the socket handling.
+The protocol layer is deliberately minimal HTTP/1.1 with persistent
+connections: a client may pipeline many requests over one socket
+(``Connection: keep-alive`` semantics — the HTTP/1.1 default), and the
+server closes only on ``Connection: close``, a protocol error, or the
+idle timeout.  Streaming responses (``?stream=1``) still end their
+connection — they have no length framing.  The farm's job payloads are
+tiny JSON documents and the interesting concurrency lives in the pool,
+not the socket handling.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ import dataclasses
 import json
 import signal
 import sys
+import time
 
 from repro.farm.api import FarmClient, FarmFuture, JobSpec, SpecError
 
@@ -55,6 +60,10 @@ _MAX_WAIT_S = 300.0
 
 #: Completed registry entries kept for ``GET /jobs/<key>`` answers.
 _REGISTRY_LIMIT = 8192
+
+#: A keep-alive connection with no next request within this window is
+#: closed (frees sockets held by clients that wandered off).
+_IDLE_TIMEOUT_S = 75.0
 
 
 def _ext_for(spec_dict: dict | None) -> str:
@@ -79,12 +88,15 @@ class FarmServer:
         host: str = "127.0.0.1",
         port: int = 0,
         drain_timeout: float = 60.0,
+        idle_timeout: float = _IDLE_TIMEOUT_S,
     ):
         self.client = client
         self.host = host
         self.port = port
         self.drain_timeout = drain_timeout
+        self.idle_timeout = idle_timeout
         self.draining = False
+        self._started = time.monotonic()
         self.counters = {
             "requests": 0,
             "specs_submitted": 0,
@@ -103,6 +115,9 @@ class FarmServer:
         self._lock = asyncio.Lock()
         self._server: asyncio.base_events.Server | None = None
         self._shutdown = asyncio.Event()
+        #: open connection writers — force-closed after drain so idle
+        #: keep-alive sockets can't stall ``Server.wait_closed()``
+        self._connections: set[asyncio.StreamWriter] = set()
         # Submissions run off-loop: a serial client executes the job inside
         # submit(), and even the pool path does blocking queue writes.
         self._executor = concurrent.futures.ThreadPoolExecutor(
@@ -269,6 +284,11 @@ class FarmServer:
                 "draining": self.draining,
                 "registry_size": len(self._registry),
                 "dedupe_hit_rate": round(deduped / submitted, 6) if submitted else 0.0,
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "jobs_in_flight": sum(
+                    1 for e in self._registry.values() if not e.event.is_set()
+                ),
+                "open_connections": len(self._connections),
             },
             "client": self.client.status(),
         }
@@ -276,86 +296,123 @@ class FarmServer:
     # -- protocol ----------------------------------------------------------------
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, code: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        code: int,
+        payload: dict,
+        keep_alive: bool = False,
     ) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
                    404: "Not Found", 405: "Method Not Allowed",
                    500: "Internal Server Error", 503: "Service Unavailable"}
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
         writer.write(
             f"HTTP/1.1 {code} {reasons.get(code, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n".encode("ascii") + body
+            f"Connection: {connection}\r\n\r\n".encode("ascii") + body
         )
         await writer.drain()
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, head: bytes
+    ) -> bool:
+        """Serve one parsed-head request; returns whether the connection
+        may carry another (HTTP/1.1 keep-alive semantics)."""
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, target, version = request_line.split(" ", 2)
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        connection = headers.get("connection", "").lower()
+        keep_alive = (
+            connection != "close"
+            if version.strip() == "HTTP/1.1"
+            else connection == "keep-alive"
+        )
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            if length > _MAX_BODY:
+                # the unread body makes the socket unusable for a next request
+                await self._respond(
+                    writer, 400, {"error": {"message": "request body too large"}}
+                )
+                return False
+            body = await reader.readexactly(length)
+        path, _, query_string = target.partition("?")
+        query = {}
+        for pair in query_string.split("&"):
+            if pair:
+                name, _, value = pair.partition("=")
+                query[name] = value
+
+        if method == "GET" and path == "/healthz":
+            await self._respond(
+                writer, 200, {"ok": True, "draining": self.draining}, keep_alive
+            )
+        elif method == "GET" and path == "/status":
+            await self._respond(writer, 200, self._status_payload(), keep_alive)
+        elif method == "GET" and path.startswith("/jobs/"):
+            key = path[len("/jobs/"):]
+            if query.get("stream") in ("1", "true"):
+                # ndjson has no length framing; the stream ends the connection
+                await self._stream_job(writer, key, query)
+                return False
+            code, payload = await self._handle_get_job(key, query)
+            await self._respond(writer, code, payload, keep_alive)
+        elif method == "POST" and path == "/jobs":
+            code, payload = await self._handle_post_jobs(body)
+            await self._respond(writer, code, payload, keep_alive)
+        else:
+            await self._respond(
+                writer,
+                404 if method in ("GET", "POST") else 405,
+                {"error": {"message": f"no route for {method} {path}"}},
+                keep_alive,
+            )
+        return keep_alive
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.counters["requests"] += 1
+        self._connections.add(writer)
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError, OSError):
-            writer.close()
-            return
-        try:
-            request_line, *header_lines = head.decode("latin-1").split("\r\n")
-            method, target, _version = request_line.split(" ", 2)
-            headers = {}
-            for line in header_lines:
-                if ":" in line:
-                    name, _, value = line.partition(":")
-                    headers[name.strip().lower()] = value.strip()
-            body = b""
-            length = int(headers.get("content-length", 0) or 0)
-            if length:
-                if length > _MAX_BODY:
-                    await self._respond(
-                        writer, 400, {"error": {"message": "request body too large"}}
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), self.idle_timeout
                     )
-                    return
-                body = await reader.readexactly(length)
-            path, _, query_string = target.partition("?")
-            query = {}
-            for pair in query_string.split("&"):
-                if pair:
-                    name, _, value = pair.partition("=")
-                    query[name] = value
-
-            if method == "GET" and path == "/healthz":
-                await self._respond(
-                    writer, 200, {"ok": True, "draining": self.draining}
-                )
-            elif method == "GET" and path == "/status":
-                await self._respond(writer, 200, self._status_payload())
-            elif method == "GET" and path.startswith("/jobs/"):
-                key = path[len("/jobs/"):]
-                if query.get("stream") in ("1", "true"):
-                    await self._stream_job(writer, key, query)
-                else:
-                    code, payload = await self._handle_get_job(key, query)
-                    await self._respond(writer, code, payload)
-            elif method == "POST" and path == "/jobs":
-                code, payload = await self._handle_post_jobs(body)
-                await self._respond(writer, code, payload)
-            else:
-                await self._respond(
-                    writer,
-                    404 if method in ("GET", "POST") else 405,
-                    {"error": {"message": f"no route for {method} {path}"}},
-                )
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
-        except Exception as exc:  # a handler bug must answer 500, not hang
-            self.counters["server_errors"] += 1
-            try:
-                await self._respond(
-                    writer, 500, {"error": {"message": f"{type(exc).__name__}: {exc}"}}
-                )
-            except Exception:
-                pass
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    asyncio.TimeoutError,
+                    OSError,
+                ):
+                    break
+                self.counters["requests"] += 1
+                try:
+                    keep_alive = await self._handle_one(reader, writer, head)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except Exception as exc:  # a handler bug must answer 500, not hang
+                    self.counters["server_errors"] += 1
+                    try:
+                        await self._respond(
+                            writer,
+                            500,
+                            {"error": {"message": f"{type(exc).__name__}: {exc}"}},
+                        )
+                    except Exception:
+                        pass
+                    break
+                if not keep_alive or self.draining:
+                    break
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -411,6 +468,12 @@ class FarmServer:
             # stop accepting, finish what is in flight
             self._server.close()
             summary = await self._drain()
+            # idle keep-alive sockets would stall wait_closed(); drop them
+            for connection in list(self._connections):
+                try:
+                    connection.close()
+                except Exception:
+                    pass
         self._executor.shutdown(wait=False)
         return summary
 

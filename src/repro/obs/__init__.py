@@ -22,14 +22,29 @@ flamegraphs, call graphs and per-C-line annotation, and
 And the **run ledger** (:mod:`repro.obs.ledger`) — a persistent,
 append-only flight recorder every ``run()`` can opt into (``record=`` or
 ``$REPRO_LEDGER``); ``python -m repro.obs ledger`` lists, diffs and
-regression-checks the recorded runs.
+regression-checks the recorded runs, and :class:`LedgerView` is the
+read-only query API over it (trajectories, latest runs, regressions).
+
+On top of it all sits the **operator console** (:mod:`repro.obs.console`
+/ :mod:`repro.obs.dash` / :mod:`repro.obs.top`): ``python -m repro.obs
+dash`` serves a self-contained web dashboard over the ledger, the farm's
+``GET /status`` and inline flamegraphs (``--once`` writes the static CI
+artifact), and ``python -m repro.obs top`` is the curses monitor over
+the same :class:`ConsoleSnapshot`.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and overhead numbers.
 """
 
+from repro.obs.console import ConsoleProvider, ConsoleSnapshot, sparkline
 from repro.obs.events import FLOW_KINDS, PROFILE_KINDS, SIM_KINDS, Event, EventKind
 from repro.obs.exporters import read_jsonl, to_chrome, write_chrome_trace, write_jsonl
-from repro.obs.ledger import Ledger, diff_records, find_regressions, ledger_context
+from repro.obs.ledger import (
+    Ledger,
+    LedgerView,
+    diff_records,
+    find_regressions,
+    ledger_context,
+)
 from repro.obs.metrics import (
     DEFAULT_CYCLE_BUCKETS,
     Counter,
@@ -44,12 +59,15 @@ from repro.obs.profile import (
     ProfilingTracer,
     profile_events,
     profile_run,
+    render_flame_svg,
 )
 from repro.obs.profiling import span
 from repro.obs.symbols import Symbolizer
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "ConsoleProvider",
+    "ConsoleSnapshot",
     "Counter",
     "DEFAULT_CYCLE_BUCKETS",
     "Event",
@@ -58,6 +76,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Ledger",
+    "LedgerView",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -75,7 +94,9 @@ __all__ = [
     "profile_run",
     "read_jsonl",
     "record_machine_run",
+    "render_flame_svg",
     "span",
+    "sparkline",
     "to_chrome",
     "write_chrome_trace",
     "write_jsonl",

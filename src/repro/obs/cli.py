@@ -11,6 +11,9 @@ Subcommands::
     ledger     the persistent run ledger: list/show recorded runs,
                record a fresh one, diff two records field-by-field,
                detect throughput regressions, export, and gc
+    dash       the operator console's web dashboard (live server, or
+               --once for a static self-contained HTML artifact)
+    top        the operator console's curses monitor (same snapshot)
 """
 
 from __future__ import annotations
@@ -272,14 +275,14 @@ def _cmd_ledger_record(args) -> int:
 
 
 def _cmd_ledger_diff(args) -> int:
-    from repro.obs.ledger import diff_records
+    from repro.obs.ledger import LedgerView
 
-    ledger = _open_ledger(args)
-    a = _select(ledger, args.a)
-    b = _select(ledger, args.b) if a is not None else None
-    if a is None or b is None:
+    view = LedgerView(_open_ledger(args))
+    try:
+        diff = view.diff(args.a, args.b)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    diff = diff_records(a, b)
     if args.format == "json":
         print(
             json.dumps(
@@ -302,40 +305,22 @@ def _cmd_ledger_diff(args) -> int:
 
 
 def _cmd_ledger_regressions(args) -> int:
-    from repro.obs.ledger import find_regressions
+    from repro.obs.ledger import LedgerView
 
-    ledger = _open_ledger(args)
-    regressions = find_regressions(
-        ledger.records(),
+    view = LedgerView(_open_ledger(args))
+    records = view.records()
+    regressions = view.regressions(
         threshold_pct=args.threshold,
         window=args.window,
         latest_only=not args.all,
+        records=records,
     )
     if args.format == "json":
-        print(
-            json.dumps(
-                [
-                    {
-                        "workload": r.group[0],
-                        "scale": r.group[1],
-                        "machine": r.group[2],
-                        "engine": r.group[3],
-                        "run_id": r.run_id,
-                        "steps_per_s": r.steps_per_s,
-                        "baseline": r.baseline,
-                        "drop_pct": round(r.drop_pct, 2),
-                        "samples": r.samples,
-                    }
-                    for r in regressions
-                ],
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        print(json.dumps([r.to_dict() for r in regressions], indent=2, sort_keys=True))
     elif not regressions:
         print(
             f"no regressions beyond {args.threshold:g}% across "
-            f"{len(ledger.records())} record(s)"
+            f"{len(records)} record(s)"
         )
     else:
         for regression in regressions:
@@ -369,6 +354,22 @@ def _cmd_ledger_gc(args) -> int:
         return 2
     print(f"dropped {dropped} record(s); kept {len(ledger.records())}")
     return 0
+
+
+# -- the operator console ----------------------------------------------------
+
+
+def _cmd_dash(args) -> int:
+    # imports deferred: the console must not tax the trace subcommands
+    from repro.obs import dash
+
+    return dash.main(args)
+
+
+def _cmd_top(args) -> int:
+    from repro.obs import top
+
+    return top.main(args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -506,6 +507,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     ledger_gc.add_argument("--keep", type=int, required=True, metavar="N")
     ledger_gc.set_defaults(func=_cmd_ledger_gc)
+
+    from repro.obs import dash as dash_module
+    from repro.obs import top as top_module
+
+    dash = sub.add_parser(
+        "dash", help="operator console: web dashboard over ledger/farm/profiler"
+    )
+    dash_module.add_arguments(dash)
+    dash.set_defaults(func=_cmd_dash)
+
+    top = sub.add_parser(
+        "top", help="operator console: live terminal monitor (curses)"
+    )
+    top_module.add_arguments(top)
+    top.set_defaults(func=_cmd_top)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,276 @@
+"""The operator console's shared data-provider layer.
+
+``python -m repro.obs dash`` (the web dashboard) and ``python -m
+repro.obs top`` (the curses monitor) are two faces of one view of the
+system.  This module is that view: a :class:`ConsoleProvider` folds the
+run ledger (through :class:`~repro.obs.ledger.LedgerView`), a farm
+server's ``GET /status`` document, and optional workload profiles into
+one schema-versioned :class:`ConsoleSnapshot` — so whatever the dash
+renders as an SVG panel and the TUI renders as a sparkline row comes
+from the same numbers, computed once.
+
+Everything here is stdlib-only (``urllib`` for the farm poll); the heavy
+imports (compiler, simulators) are deferred into the optional profile
+computation, so tailing a ledger costs nothing extra.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.ledger import LedgerView, group_label
+
+__all__ = [
+    "CONSOLE_SCHEMA_VERSION",
+    "ConsoleProvider",
+    "ConsoleSnapshot",
+    "fetch_farm_status",
+    "sparkline",
+]
+
+#: Bump on any backwards-incompatible snapshot change.
+CONSOLE_SCHEMA_VERSION = 1
+
+#: Eight-step block ramp for in-terminal sparklines.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 24) -> str:
+    """A unicode sparkline of the last ``width`` values.
+
+    ``None`` entries (untimed runs) render as ``·`` so gaps in a
+    trajectory stay visible instead of silently compressing the series.
+    Returns an empty string when nothing is numeric.
+    """
+    tail = list(values)[-max(1, width):]
+    numeric = [v for v in tail if v is not None]
+    if not numeric:
+        return ""
+    low, high = min(numeric), max(numeric)
+    span = (high - low) or 1.0
+    out = []
+    for value in tail:
+        if value is None:
+            out.append("·")
+        else:
+            step = int((value - low) / span * (len(SPARK_CHARS) - 1))
+            out.append(SPARK_CHARS[step])
+    return "".join(out)
+
+
+def fetch_farm_status(url: str, timeout: float = 5.0) -> dict:
+    """``GET {url}/status`` from a ``repro.farm serve`` front door.
+
+    ``url`` is the server base (``http://127.0.0.1:8421``); a bare
+    ``host:port`` is promoted to ``http://``.  Raises :class:`OSError`
+    (connection problems) or :class:`ValueError` (non-JSON payload) —
+    :class:`ConsoleProvider` folds either into an ``ok: False`` farm
+    block instead of failing the snapshot.
+    """
+    base = url.rstrip("/")
+    if "://" not in base:
+        base = f"http://{base}"
+    request = urllib.request.Request(
+        f"{base}/status", headers={"Accept": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("farm /status did not return a JSON object")
+    return payload
+
+
+@dataclasses.dataclass
+class ConsoleSnapshot:
+    """One moment of the whole system, as both console faces render it.
+
+    ``trajectories`` and ``regressions`` are plain dicts (the ledger
+    view's records and :meth:`~repro.obs.ledger.Regression.to_dict`
+    forms), ``farm`` is the polled ``GET /status`` document wrapped with
+    reachability, and ``profiles`` are :meth:`~repro.obs.profile.Profile.
+    to_dict` documents for the flamegraph panel.  The whole snapshot
+    JSON round-trips, so the dash can serve it over ``GET /data`` and a
+    stored snapshot re-renders identically.
+    """
+
+    generated_at: float
+    ledger_root: str
+    threshold_pct: float
+    trajectories: list
+    regressions: list
+    farm: dict | None = None
+    profiles: list = dataclasses.field(default_factory=list)
+    schema: int = CONSOLE_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConsoleSnapshot":
+        if not isinstance(payload, dict):
+            raise ValueError("console snapshot must be a JSON object")
+        schema = payload.get("schema", CONSOLE_SCHEMA_VERSION)
+        if schema != CONSOLE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported console snapshot schema {schema!r} "
+                f"(this build speaks {CONSOLE_SCHEMA_VERSION})"
+            )
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+    #: Farm server counters that move on every poll (the console's own
+    #: ``GET /status`` is itself a request) — ignored by the change
+    #: detector so an idle system keeps a stable page version.
+    _VOLATILE_FARM_KEYS = ("uptime_s", "requests", "open_connections")
+
+    def comparable(self) -> dict:
+        """The snapshot minus its wall-clock stamps and self-inflicted
+        counter noise — the dash's change detector: a new poll bumps the
+        page version only when this differs."""
+        body = self.to_dict()  # asdict deep-copies; nested edits are safe
+        body.pop("generated_at", None)
+        farm = body.get("farm")
+        if isinstance(farm, dict):
+            farm.pop("polled_at", None)
+            status = farm.get("status")
+            if isinstance(status, dict) and isinstance(status.get("server"), dict):
+                for key in self._VOLATILE_FARM_KEYS:
+                    status["server"].pop(key, None)
+        return body
+
+
+class ConsoleProvider:
+    """Builds :class:`ConsoleSnapshot`\\ s for the dash and the TUI.
+
+    ``ledger`` is a root path / :class:`~repro.obs.ledger.Ledger` /
+    ``None`` (default root); ``farm_url`` an optional ``repro.farm
+    serve`` base; ``profile_specs`` workload specs profiled **once** per
+    provider (the runs are deterministic, so the flamegraphs never
+    change mid-session).  Bad profile specs fail fast in the
+    constructor, with the same :class:`ValueError` the other CLIs
+    surface.
+    """
+
+    def __init__(
+        self,
+        ledger=None,
+        farm_url: str | None = None,
+        profile_specs=(),
+        profile_target: str = "risc1",
+        threshold_pct: float = 20.0,
+        window: int = 5,
+        farm_timeout: float = 5.0,
+    ):
+        from repro.workloads import parse_workload_spec
+
+        self.view = LedgerView(ledger)
+        self.farm_url = farm_url
+        self.profile_specs = tuple(profile_specs)
+        self.profile_target = profile_target
+        self.threshold_pct = threshold_pct
+        self.window = window
+        self.farm_timeout = farm_timeout
+        for spec in self.profile_specs:
+            parse_workload_spec(spec)  # ValueError before any server starts
+        self._profiles: list | None = None
+
+    # -- pieces ---------------------------------------------------------------
+
+    def profiles(self) -> list:
+        """Profile documents for ``profile_specs`` (computed once, cached)."""
+        if self._profiles is None:
+            # imports deferred: tailing a ledger must not pay for the
+            # compiler/simulator import graph
+            from repro.cc.driver import compile_program
+            from repro.obs.profile import profile_run
+            from repro.workloads import ALL_WORKLOADS, parse_workload_spec
+
+            documents = []
+            for spec in self.profile_specs:
+                name, overrides = parse_workload_spec(spec)
+                compiled = compile_program(
+                    ALL_WORKLOADS[name].source(**overrides),
+                    target=self.profile_target,
+                    filename=f"{name}.c",
+                )
+                profile, _result = profile_run(compiled, workload=spec)
+                documents.append(profile.to_dict())
+            self._profiles = documents
+        return self._profiles
+
+    def farm_state(self) -> dict | None:
+        """The farm block: polled status, or why the poll failed."""
+        if not self.farm_url:
+            return None
+        state = {"url": self.farm_url, "polled_at": round(time.time(), 3)}
+        try:
+            state["status"] = fetch_farm_status(self.farm_url, self.farm_timeout)
+            state["ok"] = True
+            state["error"] = None
+        except (OSError, ValueError, urllib.error.URLError) as exc:
+            state["status"] = None
+            state["ok"] = False
+            state["error"] = str(exc) or type(exc).__name__
+        return state
+
+    @staticmethod
+    def _point(record: dict) -> dict:
+        stats = record.get("stats") or {}
+        return {
+            "run_id": record.get("run_id"),
+            "timestamp": record.get("timestamp"),
+            "source": record.get("source"),
+            "steps_per_s": record.get("steps_per_s"),
+            "wall_s": record.get("wall_s"),
+            "instructions": stats.get("instructions"),
+            "cycles": stats.get("cycles"),
+            "exit_code": record.get("exit_code"),
+        }
+
+    # -- the snapshot ---------------------------------------------------------
+
+    def snapshot(self) -> ConsoleSnapshot:
+        """One coherent view: ledger, regressions and farm read together."""
+        records = self.view.records()
+        regressions = [
+            r.to_dict()
+            for r in self.view.regressions(
+                threshold_pct=self.threshold_pct,
+                window=self.window,
+                records=records,
+            )
+        ]
+        regressed_runs = {r["run_id"] for r in regressions}
+        trajectories = []
+        for trajectory in self.view.trajectories(records=records):
+            workload, scale, machine, engine = trajectory.group
+            points = [self._point(r) for r in trajectory.records]
+            trajectories.append(
+                {
+                    "label": group_label(trajectory.group),
+                    "workload": workload,
+                    "scale": scale,
+                    "machine": machine,
+                    "engine": engine,
+                    "runs": len(points),
+                    "points": points,
+                    "latest_steps_per_s": points[-1]["steps_per_s"],
+                    "latest_run_id": points[-1]["run_id"],
+                    "regressed": any(
+                        p["run_id"] in regressed_runs for p in points
+                    ),
+                }
+            )
+        return ConsoleSnapshot(
+            generated_at=round(time.time(), 3),
+            ledger_root=str(self.view.root),
+            threshold_pct=self.threshold_pct,
+            trajectories=trajectories,
+            regressions=regressions,
+            farm=self.farm_state(),
+            profiles=self.profiles(),
+        )

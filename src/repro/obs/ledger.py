@@ -53,12 +53,15 @@ __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "Ledger",
     "LedgerShard",
+    "LedgerView",
     "RunDiff",
+    "Trajectory",
     "default_ledger_root",
     "diff_records",
     "environment_stamp",
     "find_regressions",
     "group_key",
+    "group_label",
     "ledger_context",
     "make_record",
     "maybe_record_run",
@@ -625,13 +628,33 @@ class Regression:
     samples: int
 
     def render(self) -> str:
-        workload, scale, machine, engine = self.group
-        label = f"{workload or '?'}[{scale or 'default'}] {machine}/{engine}"
         return (
-            f"{label}: {self.steps_per_s:,.0f} steps/s vs baseline "
+            f"{group_label(self.group)}: {self.steps_per_s:,.0f} steps/s vs baseline "
             f"{self.baseline:,.0f} ({self.drop_pct:+.1f}%, n={self.samples}) "
             f"run {self.run_id}"
         )
+
+    def to_dict(self) -> dict:
+        """JSON form, shared by the CLI and the operator console."""
+        workload, scale, machine, engine = self.group
+        return {
+            "workload": workload,
+            "scale": scale,
+            "machine": machine,
+            "engine": engine,
+            "run_id": self.run_id,
+            "timestamp": self.timestamp,
+            "steps_per_s": self.steps_per_s,
+            "baseline": self.baseline,
+            "drop_pct": round(self.drop_pct, 2),
+            "samples": self.samples,
+        }
+
+
+def group_label(group: tuple) -> str:
+    """One human-readable name for a trajectory group."""
+    workload, scale, machine, engine = group
+    return f"{workload or '?'}[{scale or 'default'}] {machine or '?'}/{engine or '?'}"
 
 
 def _median(values: list[float]) -> float:
@@ -688,3 +711,85 @@ def find_regressions(
                 )
     regressions.sort(key=lambda r: r.drop_pct)
     return regressions
+
+
+# -- the read API -------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Trajectory:
+    """One (workload, scale, machine, engine) group's runs, oldest first."""
+
+    group: tuple
+    records: list
+
+    @property
+    def label(self) -> str:
+        return group_label(self.group)
+
+    @property
+    def latest(self) -> dict:
+        return self.records[-1]
+
+    def steps_per_s(self) -> list:
+        """Per-run throughput in append order (``None`` for untimed runs)."""
+        return [r.get("steps_per_s") for r in self.records]
+
+
+class LedgerView:
+    """Read-only query API over a ledger root.
+
+    The one query path shared by the ``diff``/``regressions`` CLIs, the
+    web dashboard and the TUI monitor — every reader sees the same
+    grouping, ordering and regression fit.  A view **never writes**: it
+    reads ``records.jsonl`` directly and skips the index (so it can point
+    at read-only roots like the checked-in ``benchmarks/ledger_seed/``).
+    """
+
+    def __init__(self, ledger: "Ledger | Path | str | None" = None):
+        self.ledger = ledger if isinstance(ledger, Ledger) else Ledger(ledger)
+
+    @property
+    def root(self) -> Path:
+        return self.ledger.root
+
+    def records(self) -> list[dict]:
+        """All records, oldest first (a fresh read every call)."""
+        return self.ledger.records()
+
+    def trajectories(self, records: list[dict] | None = None) -> list["Trajectory"]:
+        """Every trajectory group, sorted by label, runs in append order."""
+        by_group: dict[tuple, list[dict]] = {}
+        for record in self.records() if records is None else records:
+            by_group.setdefault(group_key(record), []).append(record)
+        return sorted(
+            (Trajectory(group, runs) for group, runs in by_group.items()),
+            key=lambda t: t.label,
+        )
+
+    def latest(self, limit: int = 10) -> list[dict]:
+        """The newest ``limit`` records across the whole ledger, newest first."""
+        return list(reversed(self.records()[-max(0, limit):]))
+
+    def regressions(
+        self,
+        threshold_pct: float = 20.0,
+        window: int = 5,
+        latest_only: bool = True,
+        records: list[dict] | None = None,
+    ) -> list[Regression]:
+        """Throughput regressions against each trajectory's rolling baseline."""
+        return find_regressions(
+            self.records() if records is None else records,
+            threshold_pct=threshold_pct,
+            window=window,
+            latest_only=latest_only,
+        )
+
+    def get(self, selector: str) -> dict:
+        """One record by run-id prefix or negative position (``-1`` = latest)."""
+        return self.ledger.get(selector)
+
+    def diff(self, a: str, b: str) -> RunDiff:
+        """Field-by-field comparison of two records named by selector."""
+        return diff_records(self.get(a), self.get(b))

@@ -32,6 +32,7 @@ C source annotated with per-line cycle percentages
 from __future__ import annotations
 
 import dataclasses
+import html
 from collections import Counter
 
 from repro.obs.events import PROFILE_KINDS, EventKind
@@ -339,6 +340,14 @@ class Profile:
             lines.append(f"... ({len(ranked) - top} more edges)")
         return "\n".join(lines) + "\n"
 
+    def flame_svg(self, width: int = 1100, row_height: int = 18) -> str:
+        """The flamegraph as one self-contained inline SVG string."""
+        label = self.workload or self.source_file or "profile"
+        title = f"{self.machine} {label}" if self.machine else label
+        return render_flame_svg(
+            self.stack_cycles, title=title, width=width, row_height=row_height
+        )
+
     def to_dict(self) -> dict:
         """JSON-friendly form (stack/edge keys joined with ``;``)."""
         return {
@@ -430,4 +439,121 @@ def profile_events(
         workload=workload,
         source_file=program.source_file,
         truncated=dropped,
+    )
+
+
+# -- inline SVG flamegraphs ---------------------------------------------------
+
+#: Frame fills by depth: the sequential blue ramp's ordinal band (every
+#: step clears 2:1 on both chart surfaces), cycled.  Each fill is emitted
+#: as ``var(--flame-dN, #hex)`` so an embedding page (the dashboard) can
+#: restep the ramp for dark mode; the hex fallback keeps a bare SVG
+#: self-contained.
+_FLAME_FILLS = (
+    "#86b6ef", "#6da7ec", "#5598e7", "#3987e5",
+    "#2a78d6", "#256abf", "#1c5cab", "#184f95",
+)
+#: In-fill label ink per depth, picked by the fill's luminance (light
+#: steps take near-black ink, dark steps take white).
+_FLAME_INKS = (
+    "#0b0b0b", "#0b0b0b", "#0b0b0b", "#ffffff",
+    "#ffffff", "#ffffff", "#ffffff", "#ffffff",
+)
+#: Approximate glyph advance at font-size 11 for label truncation.
+_FLAME_CHAR_PX = 6.3
+
+
+def render_flame_svg(
+    stack_cycles: dict,
+    *,
+    title: str = "",
+    width: int = 1100,
+    row_height: int = 18,
+    min_px: float = 1.0,
+) -> str:
+    """Render collapsed stacks as a deterministic, self-contained SVG.
+
+    ``stack_cycles`` maps stack tuples (root-first frame names) to cycle
+    counts — exactly :attr:`Profile.stack_cycles`, or a dict rebuilt from
+    the ``"a;b;c"`` keys of :meth:`Profile.to_dict`.  The layout is an
+    icicle (root on top); every frame carries a ``<title>`` hover with
+    its exact cycles and share, so the SVG needs no script.  Children are
+    laid out in sorted order, making equal profiles serialize
+    byte-identically (the CI determinism gate).
+    """
+    stacks = {
+        tuple(key.split(";")) if isinstance(key, str) else tuple(key): cycles
+        for key, cycles in stack_cycles.items()
+        if key and cycles > 0
+    }
+    total = sum(stacks.values())
+    root_label = html.escape(title or "all", quote=True)
+    if not total:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {row_height}" '
+            f'width="{width}" height="{row_height}" role="img" aria-label="empty flamegraph">'
+            f'<text x="4" y="{row_height - 5}" font-size="11" fill="#898781" '
+            f'font-family="system-ui, sans-serif">no stack samples recorded</text></svg>'
+        )
+
+    # fold the stacks into a tree: name -> [cycles, children]
+    tree: dict = {}
+    for frames, cycles in sorted(stacks.items()):
+        node = tree
+        for frame in frames:
+            entry = node.setdefault(frame, [0, {}])
+            entry[0] += cycles
+            node = entry[1]
+
+    px_per_cycle = width / total
+    body: list[str] = []
+    max_depth = 0
+
+    def emit(children: dict, x: float, depth: int) -> None:
+        nonlocal max_depth
+        for name, (cycles, grandchildren) in sorted(children.items()):
+            w = cycles * px_per_cycle
+            if w < min_px:
+                x += w
+                continue
+            max_depth = max(max_depth, depth)
+            y = depth * row_height
+            fill = _FLAME_FILLS[(depth - 1) % len(_FLAME_FILLS)]
+            ink = _FLAME_INKS[(depth - 1) % len(_FLAME_INKS)]
+            safe = html.escape(name, quote=True)
+            body.append(
+                f'<g><title>{safe} — {cycles:,} cycles '
+                f'({cycles / total:.1%} of {total:,})</title>'
+                f'<rect x="{x:.2f}" y="{y}" width="{max(w - 0.8, 0.4):.2f}" '
+                f'height="{row_height - 2}" rx="2" '
+                f'fill="var(--flame-d{(depth - 1) % len(_FLAME_FILLS)}, {fill})"/>'
+            )
+            chars = int((w - 8) / _FLAME_CHAR_PX)
+            if chars >= 2:
+                shown = name if len(name) <= chars else name[: max(chars - 1, 1)] + "…"
+                body.append(
+                    f'<text x="{x + 4:.2f}" y="{y + row_height - 6}" font-size="11" '
+                    f'fill="{ink}">{html.escape(shown, quote=True)}</text>'
+                )
+            body.append("</g>")
+            emit(grandchildren, x, depth + 1)
+            x += w
+
+    emit(tree, 0.0, 1)
+    height = (max_depth + 1) * row_height
+    header = (
+        f'<g><title>{root_label} — {total:,} cycles (100.0%)</title>'
+        f'<rect x="0" y="0" width="{width}" height="{row_height - 2}" rx="2" '
+        f'fill="var(--flame-root, #e1e0d9)"/>'
+        f'<text x="4" y="{row_height - 6}" font-size="11" '
+        f'fill="var(--flame-root-ink, #0b0b0b)">{root_label} — {total:,} cycles</text></g>'
+    )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="flamegraph: {root_label}" '
+        f'font-family="system-ui, -apple-system, \'Segoe UI\', sans-serif">'
+        + header
+        + "".join(body)
+        + "</svg>"
     )

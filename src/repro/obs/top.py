@@ -1,0 +1,236 @@
+"""``python -m repro.obs top`` — the operator console's terminal face.
+
+A curses monitor over the same :class:`~repro.obs.console.ConsoleSnapshot`
+the web dashboard renders: one row per (workload, machine, engine)
+trajectory with a steps/s sparkline and its regression flag, the most
+recent regressions, and the farm front door's live counters.
+
+Rendering is split from the terminal: :func:`render_lines` is a pure
+``snapshot -> list[str]`` function (what the tests drive), and the
+curses loop just paints those lines and polls for ``q``.  ``--once``
+prints one frame to stdout — no TTY needed, which is also the CI mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.obs.console import ConsoleProvider, ConsoleSnapshot, sparkline
+
+__all__ = ["main", "render_lines"]
+
+#: Most regressions shown before "… and N more".
+_MAX_REGRESSIONS = 5
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "—"
+    number = float(value)
+    for unit, div in (("B", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(number) >= div * 10:
+            return f"{number / div:,.1f}{unit}"
+    return f"{number:,.0f}"
+
+
+def _clip(text: str, width: int) -> str:
+    return text if len(text) <= width else text[: max(0, width - 1)] + "…"
+
+
+def render_lines(snapshot: ConsoleSnapshot | dict, width: int = 100) -> list[str]:
+    """One frame of the monitor as plain strings (no curses involved)."""
+    if isinstance(snapshot, ConsoleSnapshot):
+        snapshot = snapshot.to_dict()
+    trajectories = snapshot.get("trajectories") or []
+    regressions = snapshot.get("regressions") or []
+    farm = snapshot.get("farm")
+
+    stamp = time.strftime(
+        "%H:%M:%S", time.gmtime(snapshot.get("generated_at") or 0)
+    )
+    farm_state = "—"
+    if farm:
+        farm_state = "live" if farm.get("ok") else "OFFLINE"
+    lines = [
+        _clip(
+            f"repro top · {len(trajectories)} trajectories · "
+            f"{len(regressions)} regression(s) · farm {farm_state} · {stamp} UTC",
+            width,
+        ),
+        "",
+    ]
+
+    label_w = min(
+        max([len(t.get("label") or "?") for t in trajectories], default=8), 34
+    )
+    spark_w = max(8, min(24, width - label_w - 26))
+    lines.append(
+        _clip(
+            f"{'trajectory':<{label_w}}  {'steps/s':>10}  "
+            f"{'trend':<{spark_w}}  flag",
+            width,
+        )
+    )
+    for trajectory in trajectories:
+        values = [p.get("steps_per_s") for p in trajectory.get("points") or []]
+        flag = "▼ REG" if trajectory.get("regressed") else ""
+        lines.append(
+            _clip(
+                f"{_clip(trajectory.get('label') or '?', label_w):<{label_w}}  "
+                f"{_fmt(trajectory.get('latest_steps_per_s')):>10}  "
+                f"{sparkline(values, spark_w):<{spark_w}}  {flag}",
+                width,
+            )
+        )
+    if not trajectories:
+        lines.append("  (ledger is empty — record a run to populate this view)")
+
+    lines.append("")
+    lines.append(f"recent regressions (threshold {snapshot.get('threshold_pct', 20.0):g}%)")
+    if regressions:
+        for regression in regressions[:_MAX_REGRESSIONS]:
+            label = (
+                f"{regression.get('workload') or '?'} "
+                f"{regression.get('machine') or '?'}/{regression.get('engine') or '?'}"
+            )
+            lines.append(
+                _clip(
+                    f"  ▼ {label}: {_fmt(regression.get('steps_per_s'))} vs "
+                    f"{_fmt(regression.get('baseline'))} "
+                    f"({regression.get('drop_pct', 0):+.1f}%) "
+                    f"run {regression.get('run_id')}",
+                    width,
+                )
+            )
+        if len(regressions) > _MAX_REGRESSIONS:
+            lines.append(f"  … and {len(regressions) - _MAX_REGRESSIONS} more")
+    else:
+        lines.append("  ✓ none")
+
+    lines.append("")
+    if farm is None:
+        lines.append(_clip("farm: not attached (pass --farm http://host:port)", width))
+    elif not farm.get("ok"):
+        lines.append(
+            _clip(
+                f"farm: OFFLINE at {farm.get('url')} — "
+                f"{farm.get('error') or 'poll failed'}",
+                width,
+            )
+        )
+    else:
+        status = farm.get("status") or {}
+        server = status.get("server") or {}
+        client = status.get("client") or {}
+        pool = client.get("pool") or {}
+        alive = pool.get("alive_workers")
+        workers = client.get("workers")
+        alive_text = f"{alive}/{workers}" if alive is not None else str(workers)
+        lines.append(
+            _clip(
+                f"farm: {farm.get('url')} · workers {alive_text} alive "
+                f"({pool.get('workers_respawned', 0)} respawned) · "
+                f"in flight {server.get('jobs_in_flight', client.get('in_flight', 0))} · "
+                f"queue {pool.get('in_flight', 0)} · "
+                f"dedupe {(server.get('dedupe_hit_rate') or 0.0) * 100:.1f}% · "
+                f"uptime {_fmt(server.get('uptime_s'))}s",
+                width,
+            )
+        )
+    return lines
+
+
+def _curses_loop(provider: ConsoleProvider, interval: float) -> int:
+    import curses
+
+    def _loop(screen):
+        curses.curs_set(0)
+        screen.nodelay(True)
+        screen.timeout(int(interval * 1000))
+        snapshot = provider.snapshot()
+        while True:
+            height, width = screen.getmaxyx()
+            screen.erase()
+            frame = render_lines(snapshot, width=max(20, width - 1))
+            for row, line in enumerate(frame[: height - 2]):
+                screen.addnstr(row, 0, line, width - 1)
+            screen.addnstr(
+                height - 1, 0, f"q quit · refresh {interval:g}s", width - 1
+            )
+            screen.refresh()
+            key = screen.getch()  # also the frame delay (timeout above)
+            if key in (ord("q"), ord("Q")):
+                return 0
+            snapshot = provider.snapshot()
+
+    return curses.wrapper(_loop)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--once", action="store_true", help="print one frame to stdout and exit"
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="DIR",
+        help="ledger root (default: $REPRO_LEDGER / .repro-ledger, falling "
+        "back to benchmarks/ledger_seed when empty)",
+    )
+    parser.add_argument(
+        "--farm",
+        metavar="URL",
+        help="a repro.farm serve base URL to poll for the farm line",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (default 2s)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="regression threshold in percent (default 20)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=100, help="frame width for --once (default 100)"
+    )
+
+
+def main(args) -> int:
+    """``python -m repro.obs top`` (argparse namespace)."""
+    from repro.obs.dash import resolve_ledger
+
+    provider = ConsoleProvider(
+        ledger=resolve_ledger(args.ledger),
+        farm_url=args.farm,
+        threshold_pct=args.threshold,
+    )
+    if args.once:
+        try:
+            for line in render_lines(provider.snapshot(), width=args.width):
+                print(line)
+        except BrokenPipeError:
+            # downstream closed early (e.g. `top --once | head`); hand the
+            # interpreter a sink so its exit-time stdout flush stays quiet
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        return 0
+    if not sys.stdout.isatty():
+        print(
+            "error: live mode needs a terminal (use --once for one frame)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return _curses_loop(provider, args.interval) or 0
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    parser = argparse.ArgumentParser(description="operator console terminal monitor")
+    add_arguments(parser)
+    raise SystemExit(main(parser.parse_args()))

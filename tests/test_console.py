@@ -1,0 +1,237 @@
+"""The operator console's shared data layer: snapshot schema round-trip,
+sparklines, the farm poll (against a live fake farm endpoint), and the
+``top`` monitor's pure renderer."""
+
+import http.server
+import json
+import threading
+
+import pytest
+
+from repro.obs.console import (
+    CONSOLE_SCHEMA_VERSION,
+    ConsoleProvider,
+    ConsoleSnapshot,
+    fetch_farm_status,
+    sparkline,
+)
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, Ledger
+from repro.obs.top import render_lines
+
+
+def _record(workload, engine, steps_per_s, seq, scale="default"):
+    """A hand-built record for trajectory tests (no simulation needed)."""
+    return {
+        "schema": LEDGER_SCHEMA_VERSION,
+        "timestamp": 1000.0 + seq,
+        "source": "test",
+        "workload": workload,
+        "scale": scale,
+        "machine": "risc1",
+        "engine": engine,
+        "exit_code": 0,
+        "output_sha": "00" * 8,
+        "stats": {"instructions": 1000},
+        "wall_s": None,
+        "steps_per_s": steps_per_s,
+        "run_id": f"{workload}-{engine}-{seq:03d}",
+    }
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    ledger = Ledger(tmp_path / "ledger")
+    # towers improves, then craters (a regression the detector flags)
+    for seq, sps in enumerate([1000.0, 1100.0, 1050.0, 400.0]):
+        ledger.append(_record("towers:10", "fast", sps, seq))
+    # qsort stays flat
+    for seq, sps in enumerate([2000.0, 2020.0]):
+        ledger.append(_record("qsort", "fast", sps, seq + 10))
+    return ledger
+
+
+class TestSparkline:
+    def test_shape_and_extremes(self):
+        line = sparkline([1, 2, 3, 8])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_none_renders_as_gap(self):
+        assert sparkline([1.0, None, 2.0]) == "▁·█"
+
+    def test_all_none_is_empty(self):
+        assert sparkline([None, None]) == ""
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_width_keeps_the_tail(self):
+        assert sparkline([0, 0, 0, 9], width=2) == "▁█"
+
+
+class TestSnapshotSchema:
+    def test_json_round_trip(self, ledger):
+        provider = ConsoleProvider(ledger)
+        snapshot = provider.snapshot()
+        clone = ConsoleSnapshot.from_dict(json.loads(json.dumps(snapshot.to_dict())))
+        assert clone.schema == CONSOLE_SCHEMA_VERSION
+        assert clone.to_dict() == snapshot.to_dict()
+        assert clone.comparable() == snapshot.comparable()
+
+    def test_unknown_schema_is_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            ConsoleSnapshot.from_dict({"schema": 999})
+
+    def test_comparable_ignores_timestamps_and_poll_noise(self, ledger):
+        provider = ConsoleProvider(ledger)
+        a = provider.snapshot().to_dict()
+        b = provider.snapshot().to_dict()
+        b["generated_at"] = a["generated_at"] + 60.0
+        for doc in (a, b):
+            doc["farm"] = {
+                "url": "http://x", "ok": True, "polled_at": doc["generated_at"],
+                "status": {"server": {"requests": doc["generated_at"],
+                                      "uptime_s": doc["generated_at"],
+                                      "open_connections": 3,
+                                      "jobs_in_flight": 0}},
+            }
+        assert (
+            ConsoleSnapshot.from_dict(a).comparable()
+            == ConsoleSnapshot.from_dict(b).comparable()
+        )
+
+    def test_comparable_sees_real_farm_change(self, ledger):
+        provider = ConsoleProvider(ledger)
+        a = provider.snapshot().to_dict()
+        b = json.loads(json.dumps(a))
+        for doc, in_flight in ((a, 0), (b, 3)):
+            doc["farm"] = {
+                "url": "http://x", "ok": True, "polled_at": 0,
+                "status": {"server": {"jobs_in_flight": in_flight}},
+            }
+        assert (
+            ConsoleSnapshot.from_dict(a).comparable()
+            != ConsoleSnapshot.from_dict(b).comparable()
+        )
+
+
+class TestProviderSnapshot:
+    def test_trajectories_and_regressions(self, ledger):
+        snapshot = ConsoleProvider(ledger).snapshot()
+        assert [t["label"] for t in snapshot.trajectories] == [
+            "qsort[default] risc1/fast",
+            "towers:10[default] risc1/fast",
+        ]
+        towers = snapshot.trajectories[1]
+        assert towers["runs"] == 4
+        assert towers["latest_steps_per_s"] == 400.0
+        assert towers["regressed"] is True
+        assert snapshot.trajectories[0]["regressed"] is False
+        assert len(snapshot.regressions) == 1
+        regression = snapshot.regressions[0]
+        assert regression["workload"] == "towers:10"
+        assert regression["run_id"] == towers["latest_run_id"]
+        assert regression["drop_pct"] < -20
+
+    def test_point_fields(self, ledger):
+        snapshot = ConsoleProvider(ledger).snapshot()
+        point = snapshot.trajectories[0]["points"][0]
+        assert set(point) >= {
+            "run_id", "timestamp", "steps_per_s", "source", "instructions",
+            "wall_s", "exit_code",
+        }
+
+    def test_no_farm_means_none(self, ledger):
+        assert ConsoleProvider(ledger).snapshot().farm is None
+
+    def test_bad_profile_spec_fails_fast(self, ledger):
+        with pytest.raises(ValueError):
+            ConsoleProvider(ledger, profile_specs=("towers:NOPE=1",))
+
+
+class _FakeFarmHandler(http.server.BaseHTTPRequestHandler):
+    payload = {"server": {"jobs_in_flight": 2}, "client": {"workers": 4}}
+
+    def do_GET(self):
+        if self.path != "/status":
+            self.send_error(404)
+            return
+        body = json.dumps(self.payload).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture()
+def fake_farm():
+    httpd = http.server.HTTPServer(("127.0.0.1", 0), _FakeFarmHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{httpd.server_address[1]}"
+    httpd.shutdown()
+    thread.join(10)
+
+
+class TestFarmPoll:
+    def test_fetch_farm_status(self, fake_farm):
+        assert fetch_farm_status(fake_farm) == _FakeFarmHandler.payload
+
+    def test_bare_host_port_is_promoted(self, fake_farm):
+        assert fetch_farm_status(fake_farm.removeprefix("http://")) == (
+            _FakeFarmHandler.payload
+        )
+
+    def test_provider_wraps_live_farm(self, ledger, fake_farm):
+        farm = ConsoleProvider(ledger, farm_url=fake_farm).snapshot().farm
+        assert farm["ok"] is True
+        assert farm["error"] is None
+        assert farm["status"]["server"]["jobs_in_flight"] == 2
+
+    def test_unreachable_farm_is_marked_offline(self, ledger):
+        farm = ConsoleProvider(
+            ledger, farm_url="http://127.0.0.1:1", farm_timeout=2.0
+        ).snapshot().farm
+        assert farm["ok"] is False
+        assert farm["status"] is None
+        assert farm["error"]
+
+
+class TestTopRenderer:
+    def test_frame_from_live_snapshot(self, ledger, fake_farm):
+        snapshot = ConsoleProvider(ledger, farm_url=fake_farm).snapshot()
+        frame = render_lines(snapshot, width=110)
+        text = "\n".join(frame)
+        assert "2 trajectories" in frame[0]
+        assert "farm live" in frame[0]
+        assert "towers:10[default] risc1/fast" in text
+        assert "▼ REG" in text
+        assert "▼ towers:10 risc1/fast" in text
+        assert "in flight 2" in text
+
+    def test_frame_marks_offline_farm(self, ledger):
+        provider = ConsoleProvider(
+            ledger, farm_url="http://127.0.0.1:1", farm_timeout=2.0
+        )
+        text = "\n".join(render_lines(provider.snapshot(), width=100))
+        assert "farm OFFLINE" in text or "farm: OFFLINE" in text
+
+    def test_frame_without_farm_or_records(self, tmp_path):
+        provider = ConsoleProvider(tmp_path / "empty")
+        text = "\n".join(render_lines(provider.snapshot(), width=100))
+        assert "ledger is empty" in text
+        assert "not attached" in text
+
+    def test_lines_respect_width(self, ledger):
+        snapshot = ConsoleProvider(ledger).snapshot()
+        assert all(len(line) <= 44 for line in render_lines(snapshot, width=44))
+
+    def test_sparkline_column_present(self, ledger):
+        snapshot = ConsoleProvider(ledger).snapshot()
+        text = "\n".join(render_lines(snapshot, width=110))
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")

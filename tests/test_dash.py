@@ -1,0 +1,218 @@
+"""The operator console's web dashboard: deterministic static rendering
+from the checked-in seed ledger, the ``--once`` CLI artifact mode, the
+server's routes, and the live end-to-end path — a farm job submitted
+mid-session shows up within one refresh interval."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.farm import serve as farm_serve
+from repro.obs.cli import main as obs_main
+from repro.obs.console import ConsoleProvider
+from repro.obs.dash import DashServer, render_dashboard, resolve_ledger
+
+SEED = Path(__file__).resolve().parent.parent / "benchmarks" / "ledger_seed"
+
+
+def _get(base, path, timeout=30):
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        body = response.read()
+        content_type = response.headers.get("Content-Type", "")
+    return body.decode("utf-8"), content_type
+
+
+class TestStaticRender:
+    def test_render_is_deterministic(self):
+        snapshot = ConsoleProvider(SEED).snapshot().to_dict()
+        assert render_dashboard(snapshot) == render_dashboard(snapshot)
+
+    def test_seed_page_has_every_panel(self):
+        provider = ConsoleProvider(SEED, profile_specs=("towers:10",))
+        page = render_dashboard(provider.snapshot())
+        assert page.startswith("<!doctype html>")
+        assert 'data-trajectories="2"' in page
+        assert 'id="regressions"' in page
+        assert 'id="farm"' in page
+        assert 'data-flamegraphs="1"' in page
+        assert "hanoi" in page  # the towers flamegraph really rendered
+        assert "<script" not in page  # static page: no live poll script
+        # self-contained: nothing referenced, nothing fetched (the SVG
+        # xmlns identifier is the only URL-shaped string allowed)
+        for marker in ("https://", "src=", "href=", "@import", "url("):
+            assert marker not in page
+        assert page.count("http://") == page.count("http://www.w3.org/2000/svg")
+
+    def test_live_page_embeds_poll_script(self):
+        snapshot = ConsoleProvider(SEED).snapshot()
+        page = render_dashboard(snapshot, live_version=7)
+        assert "/poll?v=" in page
+        assert "const since = 7" in page
+
+    def test_regression_flag_renders(self, tmp_path):
+        from repro.obs.ledger import LEDGER_SCHEMA_VERSION, Ledger
+
+        ledger = Ledger(tmp_path / "ledger")
+        for seq, sps in enumerate([1000.0, 1000.0, 1000.0, 100.0]):
+            ledger.append(
+                {
+                    "schema": LEDGER_SCHEMA_VERSION,
+                    "timestamp": 1000.0 + seq,
+                    "source": "test",
+                    "workload": "towers:10",
+                    "scale": "default",
+                    "machine": "risc1",
+                    "engine": "fast",
+                    "exit_code": 0,
+                    "output_sha": "00" * 8,
+                    "stats": {"instructions": 1000},
+                    "steps_per_s": sps,
+                    "run_id": f"reg-{seq:03d}",
+                }
+            )
+        page = render_dashboard(ConsoleProvider(ledger).snapshot())
+        assert "▼ regression" in page
+        assert 'data-regressions="1"' in page
+        assert "chart-dot bad" in page  # the cratered run's marker is flagged
+
+    def test_seed_ledger_stays_read_only(self):
+        ConsoleProvider(SEED, profile_specs=()).snapshot()
+        assert not (SEED / "index.jsonl").exists()
+
+
+class TestOnceCli:
+    def test_once_writes_self_contained_page(self, tmp_path):
+        out = tmp_path / "dash.html"
+        code = obs_main(
+            ["dash", "--once", str(out), "--ledger", str(SEED), "--no-profile"]
+        )
+        assert code == 0
+        page = out.read_text(encoding="utf-8")
+        assert 'data-trajectories="2"' in page
+        assert "qsort[default] risc1/fast" in page
+
+    def test_once_default_ledger_falls_back_to_seed(self, tmp_path, monkeypatch):
+        # acceptance shape: `python -m repro.obs dash --once out.html` from
+        # a checkout whose default ledger root is empty
+        monkeypatch.chdir(Path(__file__).resolve().parent.parent)
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "no-such-ledger"))
+        assert str(resolve_ledger(None)).endswith("ledger_seed")
+        out = tmp_path / "out.html"
+        assert obs_main(["dash", "--once", str(out), "--no-profile"]) == 0
+        assert 'data-trajectories="2"' in out.read_text(encoding="utf-8")
+
+    def test_bad_profile_spec_is_a_clean_error(self, tmp_path, capsys):
+        code = obs_main(
+            ["dash", "--once", str(tmp_path / "x.html"), "--ledger", str(SEED),
+             "--profile", "towers:NOPE=1"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def farm(tmp_path, monkeypatch):
+    """An in-process farm front door; yields its base URL."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    started = threading.Event()
+    holder = {}
+
+    def ready(srv):
+        holder["server"] = srv
+        holder["loop"] = srv._server.get_loop()
+        started.set()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(farm_serve.run(port=0, workers=1, ready=ready)),
+        daemon=True,
+    )
+    thread.start()
+    assert started.wait(60), "farm serve did not come up"
+    srv = holder["server"]
+    yield f"http://{srv.host}:{srv.port}"
+    holder["loop"].call_soon_threadsafe(srv.request_shutdown)
+    thread.join(60)
+    assert not thread.is_alive()
+
+
+@pytest.fixture()
+def dash(tmp_path, farm):
+    """A live DashServer over an empty ledger + the farm; fast refresh."""
+    provider = ConsoleProvider(
+        tmp_path / "ledger", farm_url=farm, profile_specs=(), farm_timeout=10.0
+    )
+    started = threading.Event()
+    holder = {}
+
+    async def _serve():
+        server = DashServer(provider, port=0, interval=0.2)
+        await server.start()
+        holder["server"] = server
+        holder["loop"] = asyncio.get_running_loop()
+        started.set()
+        await server.serve_until_shutdown()
+
+    thread = threading.Thread(target=lambda: asyncio.run(_serve()), daemon=True)
+    thread.start()
+    assert started.wait(60), "dash did not come up"
+    server = holder["server"]
+    yield server, f"http://{server.host}:{server.port}"
+    holder["loop"].call_soon_threadsafe(server.request_shutdown)
+    thread.join(60)
+    assert not thread.is_alive()
+
+
+class TestLiveServer:
+    def test_routes(self, dash):
+        _server, base = dash
+        page, content_type = _get(base, "/")
+        assert content_type.startswith("text/html")
+        assert "repro operator console" in page
+        assert "/poll?v=" in page  # live page carries the reload script
+        data, content_type = _get(base, "/data")
+        assert content_type == "application/json"
+        snapshot = json.loads(data)
+        assert snapshot["schema"] == 1
+        assert snapshot["farm"]["ok"] is True
+        health, _ = _get(base, "/healthz")
+        assert json.loads(health)["ok"] is True
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(base, "/nope")
+        assert exc.value.code == 404
+
+    def test_poll_times_out_with_same_version_when_idle(self, dash):
+        _server, base = dash
+        version = json.loads(_get(base, "/healthz")[0])["version"]
+        # idle system: farm counters churn (our own polls) but the
+        # comparable body is stable, so the version must hold
+        body, _ = _get(base, f"/poll?v={version}&wait=0.8")
+        answer = json.loads(body)
+        assert answer == {"version": version, "changed": False}
+
+    def test_farm_job_lands_within_one_refresh_interval(self, dash, farm):
+        server, base = dash
+        version = json.loads(_get(base, "/healthz")[0])["version"]
+        # mid-session: submit real work to the farm
+        request = urllib.request.Request(
+            farm + "/jobs",
+            data=json.dumps({"workload": "towers"}).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.status == 202
+        # the long poll answers as soon as the refresher (interval 0.2s)
+        # sees the farm's counters move — well inside the 20s ceiling
+        body, _ = _get(base, f"/poll?v={version}&wait=20", timeout=60)
+        answer = json.loads(body)
+        assert answer["changed"] is True
+        assert answer["version"] > version
+        snapshot = json.loads(_get(base, "/data")[0])
+        assert snapshot["farm"]["status"]["server"]["specs_submitted"] >= 1
+        page, _ = _get(base, "/")
+        assert "Dedupe hit rate" in page

@@ -17,6 +17,7 @@ from repro.obs.cli import main as obs_main
 from repro.obs.ledger import (
     LEDGER_SCHEMA_VERSION,
     Ledger,
+    LedgerView,
     diff_records,
     environment_stamp,
     find_regressions,
@@ -272,6 +273,69 @@ class TestRegressions:
 
     def test_group_key(self):
         assert group_key(synthetic()) == ("towers:10", "default", "risc1", "fast")
+
+
+class TestLedgerView:
+    """The read-only query API the operator console is built on."""
+
+    def _seeded(self, ledger):
+        for seq, sps in enumerate([1000.0, 1020.0, 980.0, 1010.0, 700.0]):
+            ledger.append(synthetic(steps_per_s=sps, seq=seq))
+        for seq in range(2):
+            ledger.append(synthetic("qsort", "fast", 2000.0 + seq, seq + 10))
+        return LedgerView(ledger)
+
+    def test_trajectories_group_and_sort(self, ledger):
+        view = self._seeded(ledger)
+        trajectories = view.trajectories()
+        assert [t.label for t in trajectories] == [
+            "qsort[default] risc1/fast",
+            "towers:10[default] risc1/fast",
+        ]
+        towers = trajectories[1]
+        assert towers.group == ("towers:10", "default", "risc1", "fast")
+        assert towers.steps_per_s() == [1000.0, 1020.0, 980.0, 1010.0, 700.0]
+        assert towers.latest["run_id"] == "0000000000000004"
+
+    def test_latest_is_newest_first(self, ledger):
+        view = self._seeded(ledger)
+        newest = view.latest(limit=3)
+        assert len(newest) == 3
+        stamps = [r["timestamp"] for r in newest]
+        assert stamps == sorted(stamps, reverse=True)
+
+    def test_regressions_delegate_to_detector(self, ledger):
+        view = self._seeded(ledger)
+        found = view.regressions(threshold_pct=20.0)
+        assert [r.run_id for r in found] == ["0000000000000004"]
+        document = found[0].to_dict()
+        assert document["workload"] == "towers:10"
+        assert document["drop_pct"] < -20
+        assert json.loads(json.dumps(document)) == document
+
+    def test_diff_and_get_resolve_selectors(self, ledger):
+        view = self._seeded(ledger)
+        assert view.get("-1")["workload"] == "qsort"
+        diff = view.diff("-2", "-1")
+        assert "steps_per_s" in diff.informational or not diff.clean
+
+    def test_view_never_writes(self, tmp_path, ledger):
+        """A view over a read-only root (the checked-in seed) must not
+        rebuild the index or create any file."""
+        ledger.append(synthetic())
+        ledger.index_path.unlink(missing_ok=True)
+        before = sorted(p.name for p in ledger.root.iterdir())
+        view = LedgerView(ledger.root)
+        assert len(view.records()) == 1
+        assert view.trajectories()
+        assert sorted(p.name for p in ledger.root.iterdir()) == before
+
+    def test_empty_view(self, tmp_path):
+        view = LedgerView(tmp_path / "nothing")
+        assert view.records() == []
+        assert view.trajectories() == []
+        assert view.latest() == []
+        assert view.regressions() == []
 
 
 class TestLedgerCli:

@@ -11,6 +11,7 @@ import asyncio
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -187,6 +188,116 @@ class TestStreaming:
         assert lines, "stream produced no snapshots"
         assert lines[-1]["state"] == "done"
         assert all(snapshot["key"] == key for snapshot in lines)
+
+
+def _read_http_response(fp):
+    """One framed HTTP response off a raw socket file: (code, headers, body)."""
+    status_line = fp.readline()
+    if not status_line:
+        return None, {}, None
+    code = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = fp.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = fp.read(int(headers.get("content-length", 0)))
+    return code, headers, json.loads(body) if body else None
+
+
+class TestKeepAlive:
+    """HTTP/1.1 persistent connections: many requests over one socket."""
+
+    def _connect(self, server):
+        srv, _base, _holder = server
+        sock = socket.create_connection((srv.host, srv.port), timeout=30)
+        return sock, sock.makefile("rb")
+
+    def test_two_requests_share_one_connection(self, server):
+        srv, _base, _ = server
+        sock, fp = self._connect(server)
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            code, headers, body = _read_http_response(fp)
+            assert code == 200 and body["ok"] is True
+            assert headers["connection"] == "keep-alive"
+            sock.sendall(b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n")
+            code, headers, body = _read_http_response(fp)
+            assert code == 200 and "server" in body
+            assert headers["connection"] == "keep-alive"
+        finally:
+            sock.close()
+
+    def test_post_then_get_on_one_connection(self, server):
+        sock, fp = self._connect(server)
+        try:
+            payload = json.dumps({"workload": "towers"}).encode()
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(payload)).encode() + b"\r\n\r\n"
+                + payload
+            )
+            code, _headers, body = _read_http_response(fp)
+            assert code == 202
+            key = body["key"]
+            sock.sendall(
+                f"GET /jobs/{key}?wait=60 HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+            )
+            code, _headers, body = _read_http_response(fp)
+            assert code == 200
+            assert body["state"] == "done"
+        finally:
+            sock.close()
+
+    def test_connection_close_is_honored(self, server):
+        sock, fp = self._connect(server)
+        try:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+            )
+            code, headers, _body = _read_http_response(fp)
+            assert code == 200
+            assert headers["connection"] == "close"
+            assert fp.read() == b""  # server closed after the response
+        finally:
+            sock.close()
+
+    def test_http10_without_keep_alive_closes(self, server):
+        sock, fp = self._connect(server)
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+            code, headers, _body = _read_http_response(fp)
+            assert code == 200
+            assert headers["connection"] == "close"
+            assert fp.read() == b""
+        finally:
+            sock.close()
+
+    def test_requests_counter_counts_requests_not_connections(self, server):
+        srv, _base, _ = server
+        before = srv.counters["requests"]
+        sock, fp = self._connect(server)
+        try:
+            for _ in range(3):
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                code, _headers, _body = _read_http_response(fp)
+                assert code == 200
+        finally:
+            sock.close()
+        assert srv.counters["requests"] == before + 3
+
+    def test_status_reports_operator_fields(self, server):
+        _, base, _ = server
+        code, body = _request(base, "GET", "/status")
+        assert code == 200
+        server_doc = body["server"]
+        assert server_doc["uptime_s"] >= 0
+        assert server_doc["jobs_in_flight"] == 0
+        assert server_doc["open_connections"] >= 0
+        assert body["client"]["workers"] == 1
 
 
 class TestDrain:
