@@ -68,6 +68,9 @@ _STORE_OPS = {"stl": Opcode.STL, "sts": Opcode.STS, "stb": Opcode.STB}
 
 _REG_RE = re.compile(r"^r(\d{1,2})$", re.IGNORECASE)
 _MEM_RE = re.compile(r"^(?P<off>[^()]*)\(\s*(?P<reg>r\d{1,2})\s*\)$", re.IGNORECASE)
+#: Register-indexed effective address ``(rB)rX`` — base register plus an
+#: index register in the S2 field (``imm=0`` encoding of loads/stores/jumps).
+_IDX_RE = re.compile(r"^\(\s*(?P<reg>r\d{1,2})\s*\)\s*(?P<idx>r\d{1,2})$", re.IGNORECASE)
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
 _NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
 #: Profiler markers, extracted from the *comment* region of a line (so a
@@ -372,8 +375,9 @@ class Assembler:
         if m == "call":
             return [self._call(ops, address, line)]
         if m == "callr":
+            dest = self._reg(ops[0], line) if len(ops) == 2 else 31
             target = self._eval(ops[-1], line)
-            return [_enc(Instruction.long(Opcode.CALLR, dest=31, y=target - address))]
+            return [_enc(Instruction.long(Opcode.CALLR, dest=dest, y=target - address))]
         if m == "ret":
             return [self._ret(Opcode.RET, ops, line)]
         if m == "retint":
@@ -417,25 +421,26 @@ class Assembler:
 
     def _load(self, opcode: Opcode, ops: list[str], line: int) -> int:
         dest = self._reg(ops[0], line)
-        rs1, offset = self._mem(ops[1], line)
-        return _enc(Instruction.short(opcode, dest=dest, rs1=rs1, s2=offset, imm=True))
+        rs1, s2, imm = self._mem(ops[1], line)
+        return _enc(Instruction.short(opcode, dest=dest, rs1=rs1, s2=s2, imm=imm))
 
     def _store(self, opcode: Opcode, ops: list[str], line: int) -> int:
         src = self._reg(ops[0], line)
-        rs1, offset = self._mem(ops[1], line)
-        return _enc(Instruction.short(opcode, dest=src, rs1=rs1, s2=offset, imm=True))
+        rs1, s2, imm = self._mem(ops[1], line)
+        return _enc(Instruction.short(opcode, dest=src, rs1=rs1, s2=s2, imm=imm))
 
     def _jump(self, m: str, ops: list[str], address: int, line: int) -> int:
         cond = Cond.ALW if m == "jmp" else MNEMONIC_CONDS[m[1:]]
         target = ops[0]
-        mem = _MEM_RE.match(target)
-        if mem or _REG_RE.match(target):
-            if mem:
-                rs1, offset = self._mem(target, line)
-            else:
-                rs1, offset = self._reg(target, line), 0
+        if _MEM_RE.match(target) or _IDX_RE.match(target):
+            rs1, s2, imm = self._mem(target, line)
             return _enc(
-                Instruction.short(Opcode.JMP, dest=int(cond), rs1=rs1, s2=offset, imm=True)
+                Instruction.short(Opcode.JMP, dest=int(cond), rs1=rs1, s2=s2, imm=imm)
+            )
+        if _REG_RE.match(target):
+            rs1 = self._reg(target, line)
+            return _enc(
+                Instruction.short(Opcode.JMP, dest=int(cond), rs1=rs1, s2=0, imm=True)
             )
         value = self._eval(target, line)
         return _enc(Instruction.long(Opcode.JMPR, dest=int(cond), y=value - address))
@@ -446,26 +451,30 @@ class Assembler:
         return _enc(Instruction.long(Opcode.JMPR, dest=int(cond), y=target - address))
 
     def _call(self, ops: list[str], address: int, line: int) -> int:
-        if len(ops) != 1:
-            raise AssemblerError(f"call needs exactly one target, got {ops}", line)
-        target = ops[0]
-        mem = _MEM_RE.match(target)
-        if mem or _REG_RE.match(target):
-            if mem:
-                rs1, offset = self._mem(target, line)
-            else:
-                rs1, offset = self._reg(target, line), 0
-            return _enc(Instruction.short(Opcode.CALL, dest=31, rs1=rs1, s2=offset, imm=True))
+        # "call target" links through r31; "call rD, target" names the
+        # link register explicitly (what the disassembler emits).
+        if len(ops) == 1:
+            dest, target = 31, ops[0]
+        elif len(ops) == 2:
+            dest, target = self._reg(ops[0], line), ops[1]
+        else:
+            raise AssemblerError(f"call needs [rd,] target, got {ops}", line)
+        if _MEM_RE.match(target) or _IDX_RE.match(target):
+            rs1, s2, imm = self._mem(target, line)
+            return _enc(Instruction.short(Opcode.CALL, dest=dest, rs1=rs1, s2=s2, imm=imm))
+        if _REG_RE.match(target):
+            rs1 = self._reg(target, line)
+            return _enc(Instruction.short(Opcode.CALL, dest=dest, rs1=rs1, s2=0, imm=True))
         value = self._eval(target, line)
-        return _enc(Instruction.long(Opcode.CALLR, dest=31, y=value - address))
+        return _enc(Instruction.long(Opcode.CALLR, dest=dest, y=value - address))
 
     def _ret(self, opcode: Opcode, ops: list[str], line: int) -> int:
         if not ops:
-            rs1, offset = 31, 8
+            rs1, s2, imm = 31, 8, True
         else:
             rs1 = self._reg(ops[0], line)
-            offset = self._eval(ops[1].lstrip("#"), line) if len(ops) > 1 else 8
-        return _enc(Instruction.short(opcode, dest=0, rs1=rs1, s2=offset, imm=True))
+            imm, s2 = self._s2(ops[1], line) if len(ops) > 1 else (True, 8)
+        return _enc(Instruction.short(opcode, dest=0, rs1=rs1, s2=s2, imm=imm))
 
     def _set(self, ops: list[str], line: int) -> list[int]:
         dest = self._reg(ops[0], line)
@@ -522,13 +531,23 @@ class Assembler:
             return False, self._reg(text, line)
         return True, self._eval(text, line)
 
-    def _mem(self, text: str, line: int) -> tuple[int, int]:
-        match = _MEM_RE.match(text.strip())
+    def _mem(self, text: str, line: int) -> tuple[int, int, bool]:
+        """Parse an effective address; returns ``(rs1, s2, imm)``.
+
+        ``offset(rB)`` is the immediate form; ``(rB)rX`` indexes by a
+        register in the S2 field (``imm=0``).
+        """
+        text = text.strip()
+        indexed = _IDX_RE.match(text)
+        if indexed:
+            rs1 = self._reg(indexed.group("reg"), line)
+            return rs1, self._reg(indexed.group("idx"), line), False
+        match = _MEM_RE.match(text)
         if not match:
-            raise AssemblerError(f"expected offset(reg), got {text!r}", line)
+            raise AssemblerError(f"expected offset(reg) or (reg)rX, got {text!r}", line)
         offset_text = match.group("off").strip().lstrip("#")
         offset = self._eval(offset_text, line) if offset_text else 0
-        return self._reg(match.group("reg"), line), offset
+        return self._reg(match.group("reg"), line), offset, True
 
     def _eval(self, text: str, line: int) -> int:
         """Evaluate ``number | symbol | symbol±number``."""

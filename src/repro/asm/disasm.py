@@ -19,6 +19,13 @@ def _s2_text(inst: Instruction) -> str:
     return f"#{inst.s2}" if inst.imm else f"r{inst.s2}"
 
 
+def _mem_text(inst: Instruction) -> str:
+    """Effective-address text: ``off(rB)`` immediate, ``(rB)rX`` indexed."""
+    if inst.imm:
+        return f"{inst.s2}(r{inst.rs1})"
+    return f"(r{inst.rs1})r{inst.s2}"
+
+
 def disassemble(word: int, pc: int | None = None) -> str:
     """Disassemble one instruction word.
 
@@ -30,30 +37,28 @@ def disassemble(word: int, pc: int | None = None) -> str:
     mnemonic = info.mnemonic + ("!" if inst.scc and info.may_set_cc else "")
     op = inst.opcode
 
-    if op in _LOADS:
-        return f"{mnemonic} r{inst.dest}, {inst.s2}(r{inst.rs1})"
-    if op in _STORES:
-        return f"{mnemonic} r{inst.dest}, {inst.s2}(r{inst.rs1})"
+    if op in _LOADS or op in _STORES:
+        return f"{mnemonic} r{inst.dest}, {_mem_text(inst)}"
     if op is Opcode.JMP:
         cond = COND_MNEMONICS[inst.cond]
         name = "jmp" if inst.cond is Cond.ALW else f"j{cond}"
-        return f"{name} {inst.s2}(r{inst.rs1})" if inst.imm else f"{name} (r{inst.rs1})r{inst.s2}"
+        return f"{name} {_mem_text(inst)}"
     if op is Opcode.JMPR:
         cond = COND_MNEMONICS[inst.cond]
         name = "jmp" if inst.cond is Cond.ALW else f"j{cond}"
         target = f"{(pc + inst.y) & 0xFFFFFFFF:#x}" if pc is not None else f".{inst.y:+d}"
         return f"{name} {target}"
     if op is Opcode.CALL:
-        return f"call r{inst.dest}, {inst.s2}(r{inst.rs1})"
+        return f"call r{inst.dest}, {_mem_text(inst)}"
     if op is Opcode.CALLR:
         target = f"{(pc + inst.y) & 0xFFFFFFFF:#x}" if pc is not None else f".{inst.y:+d}"
         return f"callr r{inst.dest}, {target}"
     if op in (Opcode.RET, Opcode.RETINT):
-        return f"{mnemonic} r{inst.rs1}, #{inst.s2}"
+        return f"{mnemonic} r{inst.rs1}, {_s2_text(inst)}"
     if op is Opcode.CALLINT:
         return f"callint r{inst.dest}"
     if op is Opcode.LDHI:
-        return f"ldhi r{inst.dest}, #{inst.y & 0x7FFFF:#x}"
+        return f"ldhi r{inst.dest}, #{inst.y}"
     if op in (Opcode.GTLPC, Opcode.GETPSW):
         return f"{mnemonic} r{inst.dest}"
     if op is Opcode.PUTPSW:

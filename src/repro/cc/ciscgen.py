@@ -237,16 +237,23 @@ class _FunctionCodegen:
         dst = self.dest(instr.dst)
         src = self.operand(instr.a)
         if isinstance(instr.b, int):
-            count = instr.b if left else -instr.b
+            # C-level shift counts follow the RISC I shifter: 5 bits only
+            count = instr.b & 31
+            if not left:
+                count = -count
             self.emit(f"ashl #{count & 0xFF}, {src}, {dst}")
             return
         # the count operand is byte-width: stage memory-resident counts in a
-        # register so the low byte read picks up the right end of the word
+        # register so the low byte read picks up the right end of the word.
+        # Mask to 5 bits *before* negating — ashl reads a signed byte, so an
+        # unmasked count outside [0, 127] (or negative) would change both
+        # magnitude and direction and diverge from the RISC I shifter.
         count = self.reg_operand(instr.b, "r0")
+        self.emit(f"andl3 #31, {count}, r0")
         if left:
-            self.emit(f"ashl {count}, {src}, {dst}")
+            self.emit(f"ashl r0, {src}, {dst}")
         else:
-            self.emit(f"mnegl {count}, r0")
+            self.emit(f"mnegl r0, r0")
             self.emit(f"ashl r0, {src}, {dst}")
 
     def _gen_setcmp(self, instr: ir.SetCmp) -> None:

@@ -104,6 +104,11 @@ class JobSpec:
     target: str = "risc1"
     scale: str = "default"
     max_instructions: int = MAX_INSTRUCTIONS
+    #: inline mini-C source (e.g. fuzz-generated).  When set, ``workload``
+    #: is a free-form label and the source must compile under RCC —
+    #: checked here at the front door, so a bad program is a structured
+    #: 400 (:class:`SpecError`), never a 500 from deep inside a worker.
+    source: str | None = None
 
     def validate(self) -> "JobSpec":
         from repro.workloads import parse_workload_spec
@@ -132,6 +137,24 @@ class JobSpec:
                 field="max_instructions",
                 value=self.max_instructions,
             )
+        if self.source is not None:
+            if not isinstance(self.source, str) or not self.source.strip():
+                raise SpecError(
+                    "inline source must be non-empty text", field="source"
+                )
+            from repro.cc.driver import CompileError, compile_program
+
+            try:
+                compile_program(
+                    self.source, target=self.target, filename=f"{self.workload}.c"
+                )
+            except CompileError as exc:
+                raise SpecError(
+                    f"inline source does not compile: {exc}",
+                    field="source",
+                    value=str(exc),
+                ) from None
+            return self
         try:
             parse_workload_spec(self.workload)
         except ValueError as exc:
@@ -143,6 +166,17 @@ class JobSpec:
         from repro.workloads import parse_workload_spec
 
         self.validate()
+        if self.source is not None:
+            return Job(
+                self.kind,
+                self.workload,
+                self.target,
+                self.scale,
+                config=(("max_instructions", self.max_instructions),)
+                if self.kind == "execute"
+                else (),
+                source=self.source,
+            )
         name, overrides = parse_workload_spec(self.workload)
         params = _normalize_params(overrides)
         if self.kind == "compile":
@@ -158,7 +192,7 @@ class JobSpec:
         )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema": API_SCHEMA_VERSION,
             "workload": self.workload,
             "kind": self.kind,
@@ -166,6 +200,9 @@ class JobSpec:
             "scale": self.scale,
             "max_instructions": self.max_instructions,
         }
+        if self.source is not None:
+            payload["source"] = self.source
+        return payload
 
     @classmethod
     def from_dict(cls, payload) -> "JobSpec":
@@ -181,7 +218,8 @@ class JobSpec:
                 value=schema,
             )
         unknown = set(payload) - {
-            "schema", "workload", "kind", "target", "scale", "max_instructions"
+            "schema", "workload", "kind", "target", "scale", "max_instructions",
+            "source",
         }
         if unknown:
             raise SpecError(
@@ -198,12 +236,16 @@ class JobSpec:
                 field="max_instructions",
                 value=payload.get("max_instructions"),
             ) from None
+        source = payload.get("source")
+        if source is not None and not isinstance(source, str):
+            raise SpecError("source must be a string", field="source")
         return cls(
             workload=payload["workload"],
             kind=payload.get("kind", "execute"),
             target=payload.get("target", "risc1"),
             scale=payload.get("scale", "default"),
             max_instructions=max_instructions,
+            source=source,
         ).validate()
 
     @classmethod
@@ -217,6 +259,7 @@ class JobSpec:
             target=job.target,
             scale=job.scale,
             max_instructions=dict(job.config).get("max_instructions", MAX_INSTRUCTIONS),
+            source=job.source,
         )
 
 

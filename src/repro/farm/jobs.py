@@ -37,6 +37,9 @@ _MODULES_BY_KIND = {
     "compile": ("isa", "machine", "asm", "cc", "baselines", "core"),
     "execute": ("isa", "machine", "asm", "cc", "baselines", "core"),
     "ir": ("isa", "machine", "asm", "cc", "baselines", "core"),
+    # differential fuzz jobs run every engine, so every module matters —
+    # plus the generator itself (a grammar change renames every artifact)
+    "fuzz": ("isa", "machine", "asm", "cc", "baselines", "core", "fuzz"),
 }
 
 
@@ -52,7 +55,7 @@ def toolchain_fingerprint() -> dict[str, str]:
 
     root = Path(repro.__file__).parent
     stamps: dict[str, str] = {"repro": _package_version()}
-    for module in ("isa", "machine", "core", "asm", "cc", "baselines", "workloads"):
+    for module in ("isa", "machine", "core", "asm", "cc", "baselines", "workloads", "fuzz"):
         digest = hashlib.sha256()
         base = root / module
         for path in sorted(base.rglob("*")):
@@ -82,10 +85,33 @@ class Job:
     #: ``PARAM_*`` overrides from a ``NAME:ARG`` workload spec, sorted
     #: (name, value) pairs applied on top of the scale's parameters
     params: tuple[tuple[str, int], ...] = ()
+    #: inline mini-C source (fuzz-generated or user-supplied).  When set,
+    #: ``workload`` is a free-form label, not a curated-workload name, and
+    #: there is no expected-output oracle to verify against.
+    source: str | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("compile", "execute", "ir"):
+        if self.kind not in ("compile", "execute", "ir", "fuzz"):
             raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.source is not None:
+            if self.kind == "fuzz":
+                raise ValueError("fuzz jobs carry a seed, not inline source")
+            if not isinstance(self.source, str) or not self.source.strip():
+                raise ValueError("inline job source must be non-empty text")
+            return
+        if self.kind == "fuzz":
+            # fuzz jobs name a generator profile, not a curated workload:
+            # workload is "fuzz:<profile>", the seed rides in config
+            from repro.fuzz.gen import PROFILES
+
+            prefix, _, profile = self.workload.partition(":")
+            if prefix != "fuzz" or profile not in PROFILES:
+                raise ValueError(
+                    f"fuzz job workload must be 'fuzz:<profile>', got {self.workload!r}"
+                )
+            if "seed" not in dict(self.config):
+                raise ValueError("fuzz job config must carry a 'seed'")
+            return
         workload = ALL_WORKLOADS.get(self.workload)
         if workload is None:
             raise KeyError(f"unknown workload {self.workload!r}")
@@ -107,7 +133,7 @@ class Job:
         return base
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "kind": self.kind,
             "workload": self.workload,
             "target": self.target,
@@ -116,6 +142,9 @@ class Job:
             "params": [list(pair) for pair in self.params],
             "key": self.key,
         }
+        if self.source is not None:
+            payload["source"] = self.source
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Job":
@@ -127,6 +156,7 @@ class Job:
             scale=payload.get("scale", "default"),
             config=tuple((str(k), int(v)) for k, v in payload.get("config", ())),
             params=tuple((str(k), int(v)) for k, v in payload.get("params", ())),
+            source=payload.get("source"),
         )
 
 
@@ -143,6 +173,14 @@ def _source_digest(name: str, scale: str, params: tuple = ()) -> str:
     return hashlib.sha256(workload_source(name, scale, params).encode()).hexdigest()[:16]
 
 
+def _fuzz_source_digest(job: Job) -> str:
+    from repro.fuzz.gen import generate_source
+
+    profile = job.workload.partition(":")[2]
+    seed = dict(job.config)["seed"]
+    return hashlib.sha256(generate_source(seed, profile).encode()).hexdigest()[:16]
+
+
 def job_key(job: Job) -> str:
     """Deterministic content hash naming this job's cache artifact."""
     stamps = toolchain_fingerprint()
@@ -157,7 +195,11 @@ def job_key(job: Job) -> str:
         # PARAM_* global changes the source text, hence the artifact —
         # and overriding a parameter to its current value correctly
         # shares the existing artifact
-        "source": _source_digest(job.workload, job.scale, job.params),
+        "source": hashlib.sha256(job.source.encode()).hexdigest()[:16]
+        if job.source is not None
+        else _fuzz_source_digest(job)
+        if job.kind == "fuzz"
+        else _source_digest(job.workload, job.scale, job.params),
         "toolchain": {m: stamps[m] for m in ("repro", *_MODULES_BY_KIND[job.kind])},
     }
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
@@ -200,6 +242,40 @@ def ir_job(workload: str, scale: str = "default", params=None) -> Job:
     return Job("ir", workload, "risc1", scale, params=_normalize_params(params))
 
 
+def fuzz_job(seed: int, profile: str = "default", max_steps: int | None = None) -> Job:
+    """One differential-fuzz cell: generate seed's program, cross-check it.
+
+    The target is tagged ``cross`` because the job runs *both* machine
+    backends (plus the IR interpreter) and compares them.
+    """
+    if max_steps is None:
+        from repro.fuzz.crosscheck import DEFAULT_MAX_STEPS
+
+        max_steps = DEFAULT_MAX_STEPS
+    return Job(
+        "fuzz",
+        f"fuzz:{profile}",
+        "cross",
+        config=(("max_steps", int(max_steps)), ("seed", int(seed))),
+    )
+
+
+def source_job(
+    source: str,
+    target: str = "risc1",
+    label: str = "inline",
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> Job:
+    """An execute job over inline mini-C source (no curated workload)."""
+    return Job(
+        "execute",
+        label,
+        target,
+        config=(("max_instructions", max_instructions),),
+        source=source,
+    )
+
+
 def dependency(job: Job) -> Job | None:
     """The job that must (logically) run first, or None.
 
@@ -208,11 +284,13 @@ def dependency(job: Job) -> Job | None:
     scheduler uses it to order waves so compiled programs are built once.
     """
     if job.kind in ("execute", "ir"):
-        return compile_job(
+        return Job(
+            "compile",
             job.workload,
             "risc1" if job.kind == "ir" else job.target,
             job.scale,
             params=job.params,
+            source=job.source,
         )
     return None
 

@@ -41,6 +41,10 @@ def _decode_result(payload: dict):
     tag = payload["type"]
     if tag == "ir":
         return IRResult.from_dict(payload["result"])
+    if tag == "fuzz":
+        from repro.fuzz.crosscheck import CrossCheckReport
+
+        return CrossCheckReport.from_dict(payload["result"])
     return RunResult.from_dict(payload["result"], default_machine=tag)
 
 _caches: dict[Path, ArtifactCache] = {}
@@ -89,12 +93,37 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
                     cache.stats.hits -= 1
                     cache.discard_corrupt(cache.path_for(job.key, "pkl"))
         value = compile_program(
-            workload_source(job.workload, job.scale, job.params),
+            job.source
+            if job.source is not None
+            else workload_source(job.workload, job.scale, job.params),
             target=job.target,
             filename=f"{job.workload}.c",
         )
         if cache is not None:
             cache.store_blob(job.key, "pkl", value.to_blob())
+        return value, False
+
+    if job.kind == "fuzz":
+        if cache is not None:
+            payload = cache.load_json(job.key)
+            if payload is not None:
+                try:
+                    return _decode_result(payload), True
+                except Exception:
+                    cache.stats.hits -= 1
+                    cache.discard_corrupt(cache.path_for(job.key, "json"))
+        from repro.fuzz.crosscheck import crosscheck_seed
+
+        config = dict(job.config)
+        value = crosscheck_seed(
+            config["seed"],
+            job.workload.partition(":")[2],
+            max_steps=config["max_steps"],
+        )
+        # no _verify: the cross-check IS the verification — the report
+        # records agreement or divergence, and the campaign layer triages
+        if cache is not None:
+            cache.store_json(job.key, {"type": "fuzz", "result": value.to_dict()})
         return value, False
 
     # execute / ir jobs store their results as typed JSON payloads
@@ -108,9 +137,9 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
                 cache.stats.hits -= 1
                 cache.discard_corrupt(cache.path_for(job.key, "json"))
 
-    program, _ = run_job(
-        compile_job(job.workload, job.target, job.scale, params=job.params), cache
-    )
+    from repro.farm.jobs import dependency
+
+    program, _ = run_job(dependency(job), cache)
     if job.kind == "ir":
         value = run_ir(program.ir)
     else:
@@ -126,7 +155,9 @@ def run_job(job: Job, cache: ArtifactCache | None = None):
         # wall time means something
         with ledger_context(workload=job.workload, scale=job.scale, source="farm"):
             value = run_compiled(program, max_steps=limit)
-    _verify(job, value.output)
+    if job.source is None:
+        # inline-source jobs have no expected-output oracle to check
+        _verify(job, value.output)
     if cache is not None:
         cache.store_json(job.key, {"type": tag, "result": value.to_dict()})
     return value, False
@@ -150,6 +181,12 @@ def job_metrics(job: Job, value) -> dict:
         return {"code_size": value.code_size}
     if job.kind == "ir":
         return {"ir_ops": value.counts.total, "calls": value.counts.calls}
+    if job.kind == "fuzz":
+        return {
+            "status": value.status,
+            "divergences": len(value.divergences),
+            "source_sha": value.source_sha,
+        }
     return {}
 
 

@@ -1,0 +1,153 @@
+"""``python -m repro.fuzz`` — the differential-fuzzing CLI.
+
+Subcommands:
+
+* ``run`` — a seed-range campaign through the farm pool; divergences are
+  minimized, written to the corpus directory and filed in the run ledger.
+  Exit status 0 only when every seed cross-checked clean.
+* ``replay SEED`` — regenerate one seed (byte-identical, forever) and
+  cross-check it; ``--show`` prints the program instead.
+* ``minimize SEED`` — shrink a divergent seed to its minimal repro.
+* ``triage`` — human summary of a saved campaign report, grouped by
+  divergence signature.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.fuzz.crosscheck import DEFAULT_MAX_STEPS, crosscheck_seed, crosscheck_source
+from repro.fuzz.gen import DEFAULT_PROFILE, PROFILES, generate_source
+from repro.fuzz.minimize import MinimizeError, minimize_seed, minimize_source
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default=DEFAULT_PROFILE, choices=sorted(PROFILES),
+        help="generator profile (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=DEFAULT_MAX_STEPS,
+        help="per-oracle step budget (default: %(default)s)",
+    )
+
+
+def _cmd_run(args) -> int:
+    from repro.fuzz.campaign import run_campaign, save_report
+
+    seeds = range(args.start, args.start + args.count)
+
+    def progress(done: int, total: int, divergent: int) -> None:
+        if done % args.progress_every == 0 or done == total:
+            print(f"  {done}/{total} checked, {divergent} divergent", file=sys.stderr)
+
+    report = run_campaign(
+        seeds,
+        args.profile,
+        max_steps=args.max_steps,
+        serial=args.serial,
+        minimize=not args.no_minimize,
+        corpus_dir=args.corpus,
+        ledger=False if args.no_ledger else None,
+        progress=progress if args.progress_every else None,
+    )
+    print(report.render())
+    if args.report:
+        save_report(report, args.report)
+        print(f"report written to {args.report}")
+    return 0 if report.clean else 1
+
+
+def _cmd_replay(args) -> int:
+    if args.show:
+        print(generate_source(args.seed, args.profile))
+        return 0
+    report = crosscheck_seed(args.seed, args.profile, max_steps=args.max_steps)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return {"ok": 0, "divergent": 1}.get(report.status, 2)
+
+
+def _cmd_minimize(args) -> int:
+    try:
+        if args.source:
+            source = Path(args.source).read_text(encoding="utf-8")
+            minimized, report, tests = minimize_source(
+                source, max_steps=args.max_steps
+            )
+        else:
+            minimized, report, tests = minimize_seed(
+                args.seed, args.profile, max_steps=args.max_steps
+            )
+    except MinimizeError as exc:
+        print(f"minimize: {exc}", file=sys.stderr)
+        return 2
+    print(f"// minimized after {tests} cross-checks; status: {report.status}")
+    for div in report.divergences:
+        print("// " + div.render().replace("\n", "\n// "))
+    print(minimized)
+    if args.out:
+        Path(args.out).write_text(minimized + "\n", encoding="utf-8")
+        print(f"// written to {args.out}")
+    return 0
+
+
+def _cmd_triage(args) -> int:
+    from repro.fuzz.campaign import triage_text
+
+    payload = json.loads(Path(args.report).read_text(encoding="utf-8"))
+    print(triage_text(payload))
+    return 0 if not payload.get("divergences") and not payload.get("compile_errors") else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of the RISC I / VAX toolchain and engines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a seed-range campaign through the farm")
+    p_run.add_argument("--start", type=int, default=0, help="first seed (default 0)")
+    p_run.add_argument("--count", type=int, default=1000, help="number of seeds")
+    p_run.add_argument("--serial", action="store_true", help="run in-process (no farm pool)")
+    p_run.add_argument("--no-minimize", action="store_true", help="skip delta-debugging divergences")
+    p_run.add_argument("--no-ledger", action="store_true", help="do not file divergences in the run ledger")
+    p_run.add_argument("--corpus", default=None, help="directory for minimized repros (e.g. tests/fuzz_corpus)")
+    p_run.add_argument("--report", default=None, help="write the JSON campaign report here")
+    p_run.add_argument("--progress-every", type=int, default=500, metavar="N",
+                       help="progress line every N seeds to stderr (0 = quiet)")
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_replay = sub.add_parser("replay", help="cross-check one seed (byte-reproducible)")
+    p_replay.add_argument("seed", type=int)
+    p_replay.add_argument("--show", action="store_true", help="print the generated program only")
+    p_replay.add_argument("--json", action="store_true", help="emit the full report as JSON")
+    _add_common(p_replay)
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_min = sub.add_parser("minimize", help="shrink a divergent program to a minimal repro")
+    p_min.add_argument("seed", type=int, nargs="?", help="campaign seed to minimize")
+    p_min.add_argument("--source", default=None, help="minimize a .c file instead of a seed")
+    p_min.add_argument("--out", default=None, help="also write the minimized program here")
+    _add_common(p_min)
+    p_min.set_defaults(func=_cmd_minimize)
+
+    p_triage = sub.add_parser("triage", help="summarize a saved campaign report")
+    p_triage.add_argument("report", help="path to a JSON report from `run --report`")
+    p_triage.set_defaults(func=_cmd_triage)
+
+    args = parser.parse_args(argv)
+    if args.command == "minimize" and args.seed is None and not args.source:
+        parser.error("minimize needs a SEED or --source FILE")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

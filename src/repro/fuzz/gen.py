@@ -1,0 +1,721 @@
+"""Seeded, grammar-based random mini-C program generator.
+
+The grammar covers exactly the subset RCC compiles — int scalars, int and
+char arrays, pointers into arrays, functions with recursion (at most
+:data:`MAX_ARGS` parameters, the register-window convention), ``if`` /
+``for`` / ``while`` / ``do-while`` / ``break`` / ``continue`` / ``return``,
+the full C operator set, globals with constant initializers, and the
+``putchar`` / ``putint`` / ``puts`` console builtins — and is weighted
+toward the patterns the engines disagree on first: deep call chains
+(register-window overflow/underflow), branches packed next to calls and
+returns (delayed-jump slot fills), and dense mixed-width store/load
+traffic (the fast engines' code-write invalidation neighbourhood).
+
+Every generated program is **well-defined on all five oracles** by
+construction, so any cross-oracle difference is a bug, never UB:
+
+* every scalar is initialized at its declaration; arrays are either
+  globals (zero-filled ``.space``) or zero-initialized in a fixed,
+  non-minimizable prologue;
+* array and pointer indices are masked with ``& (ARRAY_SIZE - 1)``;
+* divisors carry ``| 1`` so division/modulo by zero cannot happen
+  (the oracles' div-by-zero behaviours legitimately differ);
+* loop counters live in a reserved namespace no other statement writes,
+  and ``while``/``do`` counters step in a non-removable block tail, so
+  every loop terminates — even after the minimizer chews on the body;
+* ``continue`` appears only in ``for`` loops (whose step clause always
+  runs), never where it could skip a counter update;
+* recursion is fenced by a leading depth parameter: self-calls pass
+  ``d - 1`` under an ``if (d > 0)`` guard.
+
+Determinism contract: ``generate_source(seed, profile)`` is a pure
+function of its arguments (a private ``random.Random(seed)`` stream, no
+ambient state), so one seed names one program, byte for byte, forever.
+Widening the grammar later must preserve old streams or bump the profile
+name — the corpus and the farm cache keys both hang off this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+#: All fuzz arrays share one size so one mask keeps every access in bounds.
+ARRAY_SIZE = 16
+ARRAY_MASK = ARRAY_SIZE - 1
+
+#: Mirrors ``repro.cc.riscgen.MAX_ARGS`` (the r26..r30 window convention).
+MAX_ARGS = 5
+
+_BIN_OPS = ("+", "-", "*", "&", "|", "^")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_COMPOUND_OPS = ("+=", "-=", "^=", "&=", "|=", "*=", "<<=", ">>=")
+
+
+@dataclasses.dataclass(frozen=True)
+class GenConfig:
+    """Tunable shape of one generation profile (all draws stay seeded)."""
+
+    min_helpers: int = 1
+    max_helpers: int = 3
+    min_stmts: int = 5
+    max_stmts: int = 12
+    helper_max_stmts: int = 8
+    max_block_depth: int = 2
+    max_expr_depth: int = 3
+    max_recursion_depth: int = 12
+    max_loop_iters: int = 12
+    inner_loop_iters: int = 6
+    max_call_exprs: int = 2
+
+
+#: Named profiles; the farm job encodes the profile by name so cache keys
+#: and replay commands stay human-readable.
+PROFILES: dict[str, GenConfig] = {
+    "default": GenConfig(),
+    "small": GenConfig(
+        max_helpers=2,
+        max_stmts=8,
+        helper_max_stmts=6,
+        max_recursion_depth=8,
+        max_loop_iters=8,
+        inner_loop_iters=4,
+    ),
+    "deep-calls": GenConfig(
+        min_helpers=3,
+        max_helpers=4,
+        max_recursion_depth=16,
+        max_stmts=10,
+    ),
+}
+
+DEFAULT_PROFILE = "default"
+
+
+# -- program shape -------------------------------------------------------------------
+
+
+class Stmt:
+    """One generated statement; knows how to render and expose child lists."""
+
+    def render(self, indent: int) -> list[str]:
+        raise NotImplementedError
+
+    def child_lists(self) -> list[list["Stmt"]]:
+        return []
+
+
+@dataclasses.dataclass
+class LeafStmt(Stmt):
+    text: str
+
+    def render(self, indent: int) -> list[str]:
+        pad = "    " * indent
+        return [pad + line for line in self.text.split("\n")]
+
+
+@dataclasses.dataclass
+class BlockStmt(Stmt):
+    """A braced construct: ``head { body... body_tail } else { else_body... }``.
+
+    ``body_tail`` holds loop-counter steps the minimizer must never drop
+    (termination depends on them); ``close`` carries ``do``/``while``
+    trailers.
+    """
+
+    head: str
+    body: list[Stmt]
+    body_tail: str = ""
+    close: str = "}"
+    else_body: list[Stmt] | None = None
+
+    def render(self, indent: int) -> list[str]:
+        pad = "    " * indent
+        lines = [pad + line for line in self.head.split("\n")]
+        for stmt in self.body:
+            lines.extend(stmt.render(indent + 1))
+        if self.body_tail:
+            lines.extend("    " * (indent + 1) + t for t in self.body_tail.split("\n"))
+        if self.else_body is None:
+            lines.extend(pad + line for line in self.close.split("\n"))
+        else:
+            lines.append(pad + "} else {")
+            for stmt in self.else_body:
+                lines.extend(stmt.render(indent + 1))
+            lines.append(pad + "}")
+        return lines
+
+    def child_lists(self) -> list[list[Stmt]]:
+        lists = [self.body]
+        if self.else_body is not None:
+            lists.append(self.else_body)
+        return lists
+
+
+@dataclasses.dataclass
+class FuzzFunction:
+    name: str
+    params: list[str]  # rendered parameter declarations
+    prologue: list[str]  # declarations + fixed init code; not minimizable
+    body: list[Stmt]
+    epilogue: list[str]  # final return (and main's checksum print)
+
+    def render(self) -> list[str]:
+        lines = [f"int {self.name}({', '.join(self.params) or 'void'}) {{"]
+        lines.extend("    " + line for line in self.prologue)
+        for stmt in self.body:
+            lines.extend(stmt.render(1))
+        lines.extend("    " + line for line in self.epilogue)
+        lines.append("}")
+        return lines
+
+
+@dataclasses.dataclass
+class FuzzProgram:
+    """A generated program: renderable, and minimizable statement-by-statement."""
+
+    seed: int
+    profile: str
+    globals: list[str]
+    functions: list[FuzzFunction]
+
+    def render(self) -> str:
+        lines = [
+            f"/* repro.fuzz seed={self.seed} profile={self.profile} */",
+        ]
+        lines.extend(self.globals)
+        lines.append("")
+        protos = [
+            f"int {fn.name}({', '.join(fn.params) or 'void'});"
+            for fn in self.functions
+            if fn.name != "main"
+        ]
+        lines.extend(protos)
+        if protos:
+            lines.append("")
+        for fn in self.functions:
+            lines.extend(fn.render())
+            lines.append("")
+        return "\n".join(lines)
+
+    def statement_lists(self) -> list[list[Stmt]]:
+        """Every minimizable statement list, outermost first."""
+        lists: list[list[Stmt]] = []
+
+        def walk(stmts: list[Stmt]) -> None:
+            lists.append(stmts)
+            for stmt in stmts:
+                for child in stmt.child_lists():
+                    walk(child)
+
+        for fn in self.functions:
+            walk(fn.body)
+        return lists
+
+
+@dataclasses.dataclass(frozen=True)
+class _FuncSig:
+    """What a call site must know about a helper."""
+
+    name: str
+    extra_ints: int  # int parameters after the depth parameter
+    takes_pointer: bool
+
+
+# -- the generator -------------------------------------------------------------------
+
+
+class _FunctionScope:
+    """Names visible while generating one function's body."""
+
+    def __init__(
+        self,
+        scalars: list[str],
+        int_arrays: list[str],
+        char_arrays: list[str],
+        pointers: list[str],
+        counters: list[str],
+        depth_param: str | None,
+        callees: list[_FuncSig],
+        recursive_sig: _FuncSig | None,
+    ):
+        self.scalars = scalars  # readable and writable int scalars
+        self.int_arrays = int_arrays
+        self.char_arrays = char_arrays
+        self.pointers = pointers
+        self.counters = counters  # readable only
+        self.depth_param = depth_param
+        self.callees = callees
+        self.recursive_sig = recursive_sig
+        self.call_exprs_left = 0
+        self.loop_depth = 0
+        # innermost-first loop kinds; `continue` is legal only when the
+        # innermost loop is a `for` (its step clause still runs) — in a
+        # `while`/`do` it would skip the counter tail and never terminate
+        self.loop_stack: list[str] = []
+        self.small_loops = False
+
+
+class ProgramGenerator:
+    def __init__(self, seed: int, profile: str = DEFAULT_PROFILE):
+        if profile not in PROFILES:
+            raise ValueError(
+                f"unknown fuzz profile {profile!r} (choose from: {', '.join(sorted(PROFILES))})"
+            )
+        self.seed = seed
+        self.profile = profile
+        self.config = PROFILES[profile]
+        self.rng = random.Random(seed)
+        self.global_scalars: list[str] = []
+        self.global_int_arrays: list[str] = []
+        self.global_char_arrays: list[str] = []
+
+    # -- top level ---------------------------------------------------------------
+
+    def generate(self) -> FuzzProgram:
+        rng = self.rng
+        cfg = self.config
+        globals_lines = self._gen_globals()
+        sigs: list[_FuncSig] = []
+        functions: list[FuzzFunction] = []
+        n_helpers = rng.randint(cfg.min_helpers, cfg.max_helpers)
+        for index in range(1, n_helpers + 1):
+            sig, fn = self._gen_helper(index, list(sigs))
+            sigs.append(sig)
+            functions.append(fn)
+        functions.append(self._gen_main(sigs))
+        return FuzzProgram(self.seed, self.profile, globals_lines, functions)
+
+    def _gen_globals(self) -> list[str]:
+        rng = self.rng
+        lines = []
+        for i in range(rng.randint(2, 4)):
+            name = f"g{i}"
+            self.global_scalars.append(name)
+            lines.append(f"int {name} = {rng.randint(-9999, 9999)};")
+        for i in range(rng.randint(1, 2)):
+            name = f"ga{i}"
+            self.global_int_arrays.append(name)
+            lines.append(f"int {name}[{ARRAY_SIZE}];")
+        if rng.random() < 0.5:
+            self.global_char_arrays.append("gc0")
+            lines.append(f"char gc0[{ARRAY_SIZE}];")
+        return lines
+
+    def _gen_helper(self, index: int, callees: list[_FuncSig]) -> tuple[_FuncSig, FuzzFunction]:
+        rng = self.rng
+        cfg = self.config
+        name = f"f{index}"
+        extra_ints = rng.randint(1, 3)
+        takes_pointer = bool(self.global_int_arrays) and rng.random() < 0.4
+        sig = _FuncSig(name, extra_ints, takes_pointer)
+        recursive = rng.random() < 0.6
+
+        params = ["int d"] + [f"int a{i}" for i in range(extra_ints)]
+        pointers = []
+        if takes_pointer:
+            params.append("int *ap")
+            pointers.append("ap")
+        scalars = [f"a{i}" for i in range(extra_ints)] + list(self.global_scalars)
+
+        scope = _FunctionScope(
+            scalars=scalars,
+            int_arrays=list(self.global_int_arrays),
+            char_arrays=list(self.global_char_arrays),
+            pointers=pointers,
+            counters=[],
+            depth_param="d",
+            callees=callees,
+            recursive_sig=sig if recursive else None,
+        )
+        scope.small_loops = recursive
+        prologue, locals_, counters = self._gen_locals(scope, want_array=rng.random() < 0.3)
+        scope.scalars = locals_ + scope.scalars
+        scope.counters = counters
+        scope.call_exprs_left = cfg.max_call_exprs
+
+        body = self._gen_stmt_list(scope, rng.randint(3, cfg.helper_max_stmts), depth=0)
+        if recursive:
+            # guarantee at least one guarded self-call site
+            body.insert(
+                rng.randrange(len(body) + 1),
+                self._recursion_stmt(scope),
+            )
+        epilogue = [f"return {self._expr(scope, 1)};"]
+        return sig, FuzzFunction(name, params, prologue, body, epilogue)
+
+    def _gen_main(self, sigs: list[_FuncSig]) -> FuzzFunction:
+        rng = self.rng
+        cfg = self.config
+        scope = _FunctionScope(
+            scalars=list(self.global_scalars),
+            int_arrays=list(self.global_int_arrays),
+            char_arrays=list(self.global_char_arrays),
+            pointers=[],
+            counters=[],
+            depth_param=None,
+            callees=list(sigs),
+            recursive_sig=None,
+        )
+        prologue, locals_, counters = self._gen_locals(
+            scope, want_array=rng.random() < 0.4, want_pointer=True
+        )
+        scope.scalars = locals_ + scope.scalars
+        scope.counters = counters
+        scope.call_exprs_left = cfg.max_call_exprs
+
+        body = self._gen_stmt_list(scope, rng.randint(cfg.min_stmts, cfg.max_stmts), depth=0)
+        # every program exercises its call graph at least once
+        if sigs:
+            target = locals_[0] if locals_ else None
+            for sig in rng.sample(sigs, k=min(len(sigs), rng.randint(1, 2))):
+                call = self._call_text(scope, sig, deep=True)
+                text = f"{target} += {call};" if target else f"{call};"
+                body.insert(rng.randrange(len(body) + 1), LeafStmt(text))
+        checksum = " ^ ".join(locals_[:2]) if len(locals_) >= 2 else (locals_ or ["g0"])[0]
+        epilogue = [f"putint({checksum});", f"return {checksum};"]
+        return FuzzFunction("main", [], prologue, body, epilogue)
+
+    def _gen_locals(
+        self, scope: _FunctionScope, want_array: bool = False, want_pointer: bool = False
+    ) -> tuple[list[str], list[str], list[str]]:
+        """Declarations + fixed init code; returns (lines, scalars, counters)."""
+        rng = self.rng
+        cfg = self.config
+        lines: list[str] = []
+        locals_: list[str] = []
+        for i in range(rng.randint(2, 4)):
+            name = f"v{i}"
+            locals_.append(name)
+            init = self._expr(
+                scope if not locals_[:-1] else self._with_scalars(scope, locals_[:-1]), 1
+            )
+            lines.append(f"int {name} = {init};")
+        counters = [f"i{k}" for k in range(cfg.max_block_depth + 1)]
+        lines.extend(f"int {c} = 0;" for c in counters)
+        if want_array:
+            lines.append(f"int la[{ARRAY_SIZE}];")
+            scope.int_arrays.insert(0, "la")
+            fill = rng.randint(-99, 99)
+            lines.append(
+                f"for ({counters[0]} = 0; {counters[0]} < {ARRAY_SIZE}; "
+                f"{counters[0]}++) {{ la[{counters[0]}] = {fill} + {counters[0]}; }}"
+            )
+        if want_pointer and scope.int_arrays and rng.random() < 0.6:
+            base = rng.choice(scope.int_arrays)
+            lines.append(f"int *p0 = {base};")
+            scope.pointers.append("p0")
+        return lines, locals_, counters
+
+    @staticmethod
+    def _with_scalars(scope: _FunctionScope, extra: list[str]) -> _FunctionScope:
+        clone = _FunctionScope(
+            scalars=extra + scope.scalars,
+            int_arrays=scope.int_arrays,
+            char_arrays=scope.char_arrays,
+            pointers=scope.pointers,
+            counters=scope.counters,
+            depth_param=scope.depth_param,
+            callees=scope.callees,
+            recursive_sig=scope.recursive_sig,
+        )
+        clone.call_exprs_left = scope.call_exprs_left
+        return clone
+
+    # -- statements ----------------------------------------------------------------
+
+    def _gen_stmt_list(self, scope: _FunctionScope, count: int, depth: int) -> list[Stmt]:
+        return [self._gen_stmt(scope, depth) for _ in range(count)]
+
+    def _gen_stmt(self, scope: _FunctionScope, depth: int) -> Stmt:
+        rng = self.rng
+        cfg = self.config
+        choices: list[tuple[float, str]] = [
+            (0.22, "assign"),
+            (0.08, "compound"),
+            (0.05, "incdec"),
+            (0.12, "array_store"),
+            (0.06, "output"),
+        ]
+        if scope.char_arrays:
+            choices.append((0.05, "char_store"))
+        if scope.pointers:
+            choices.append((0.05, "ptr_store"))
+        # calls live outside loops only: a call under two 12-iteration loops
+        # multiplies the callee's whole call tree and the step budget explodes
+        if scope.loop_depth == 0 and scope.call_exprs_left > 0 and scope.callees:
+            choices.append((0.08, "call"))
+        if depth < cfg.max_block_depth:
+            choices.extend(
+                [(0.16, "if"), (0.07, "ifelse"), (0.13, "for"), (0.06, "while"), (0.04, "dowhile")]
+            )
+        if scope.loop_depth:
+            choices.append((0.03, "break"))
+        if scope.loop_stack and scope.loop_stack[-1] == "for":
+            choices.append((0.02, "continue"))
+        choices.append((0.02, "return"))
+
+        total = sum(w for w, _ in choices)
+        pick = rng.random() * total
+        kind = choices[-1][1]
+        for weight, name in choices:
+            pick -= weight
+            if pick <= 0:
+                kind = name
+                break
+        return getattr(self, f"_stmt_{kind}")(scope, depth)
+
+    def _stmt_assign(self, scope: _FunctionScope, depth: int) -> Stmt:
+        target = self.rng.choice(scope.scalars)
+        return LeafStmt(f"{target} = {self._expr(scope, self.config.max_expr_depth)};")
+
+    def _stmt_compound(self, scope: _FunctionScope, depth: int) -> Stmt:
+        target = self.rng.choice(scope.scalars)
+        op = self.rng.choice(_COMPOUND_OPS)
+        if op in ("<<=", ">>="):
+            return LeafStmt(f"{target} {op} {self.rng.randint(0, 31)};")
+        return LeafStmt(f"{target} {op} {self._expr(scope, 2)};")
+
+    def _stmt_incdec(self, scope: _FunctionScope, depth: int) -> Stmt:
+        target = self.rng.choice(scope.scalars)
+        op = self.rng.choice(["++", "--"])
+        if self.rng.random() < 0.5:
+            return LeafStmt(f"{target}{op};")
+        return LeafStmt(f"{op}{target};")
+
+    def _stmt_array_store(self, scope: _FunctionScope, depth: int) -> Stmt:
+        if not scope.int_arrays:
+            return self._stmt_assign(scope, depth)
+        array = self.rng.choice(scope.int_arrays)
+        index = self._index(scope)
+        return LeafStmt(f"{array}[{index}] = {self._expr(scope, 2)};")
+
+    def _stmt_char_store(self, scope: _FunctionScope, depth: int) -> Stmt:
+        array = self.rng.choice(scope.char_arrays)
+        return LeafStmt(f"{array}[{self._index(scope)}] = {self._expr(scope, 2)};")
+
+    def _stmt_ptr_store(self, scope: _FunctionScope, depth: int) -> Stmt:
+        pointer = self.rng.choice(scope.pointers)
+        if self.rng.random() < 0.5:
+            return LeafStmt(f"{pointer}[{self._index(scope)}] = {self._expr(scope, 2)};")
+        return LeafStmt(f"*({pointer} + ({self._index(scope)})) = {self._expr(scope, 2)};")
+
+    def _stmt_output(self, scope: _FunctionScope, depth: int) -> Stmt:
+        roll = self.rng.random()
+        if roll < 0.5:
+            return LeafStmt(f"putint({self._expr(scope, 2)});")
+        if roll < 0.85:
+            return LeafStmt(f"putchar(32 + (({self._expr(scope, 2)}) & 63));")
+        text = "".join(self.rng.choice("abcdefghkmnpqrstuvwxyz") for _ in range(self.rng.randint(2, 6)))
+        return LeafStmt(f'puts("{text}");')
+
+    def _stmt_call(self, scope: _FunctionScope, depth: int) -> Stmt:
+        scope.call_exprs_left -= 1
+        sig = self.rng.choice(scope.callees)
+        call = self._call_text(scope, sig)
+        if scope.scalars and self.rng.random() < 0.7:
+            return LeafStmt(f"{self.rng.choice(scope.scalars)} = {call};")
+        return LeafStmt(f"{call};")
+
+    def _recursion_stmt(self, scope: _FunctionScope) -> Stmt:
+        # exactly one self-call site per function (inserted after body
+        # generation): N sites would mean N^depth invocations
+        sig = scope.recursive_sig
+        assert sig is not None and scope.depth_param is not None
+        args = [f"{scope.depth_param} - 1"]
+        args += [self._expr(scope, 1) for _ in range(sig.extra_ints)]
+        if sig.takes_pointer:
+            args.append(self._pointer_arg(scope))
+        target = self.rng.choice(scope.scalars)
+        call = f"{sig.name}({', '.join(args)})"
+        return BlockStmt(
+            head=f"if ({scope.depth_param} > 0) {{",
+            body=[LeafStmt(f"{target} = {target} + {call};")],
+        )
+
+    def _stmt_if(self, scope: _FunctionScope, depth: int) -> Stmt:
+        cond = self._cond(scope)
+        body = self._gen_stmt_list(scope, self.rng.randint(1, 3), depth + 1)
+        return BlockStmt(head=f"if ({cond}) {{", body=body)
+
+    def _stmt_ifelse(self, scope: _FunctionScope, depth: int) -> Stmt:
+        cond = self._cond(scope)
+        body = self._gen_stmt_list(scope, self.rng.randint(1, 2), depth + 1)
+        els = self._gen_stmt_list(scope, self.rng.randint(1, 2), depth + 1)
+        return BlockStmt(head=f"if ({cond}) {{", body=body, else_body=els)
+
+    def _loop_bounds(self, scope: _FunctionScope, depth: int) -> int:
+        cfg = self.config
+        limit = cfg.max_loop_iters if depth <= 1 else cfg.inner_loop_iters
+        if scope.small_loops:
+            # recursive bodies run once per recursion level: keep their
+            # loops short so level_cost x depth stays inside the step budget
+            limit = min(limit, cfg.inner_loop_iters)
+        return self.rng.randint(2, limit)
+
+    def _stmt_for(self, scope: _FunctionScope, depth: int) -> Stmt:
+        counter = scope.counters[depth]
+        bound = self._loop_bounds(scope, depth + 1)
+        step = self.rng.choice(["++", " += 2"])
+        scope.loop_depth += 1
+        scope.loop_stack.append("for")
+        body = self._gen_stmt_list(scope, self.rng.randint(1, 3), depth + 1)
+        scope.loop_stack.pop()
+        scope.loop_depth -= 1
+        head = f"for ({counter} = 0; {counter} < {bound}; {counter}{step}) {{"
+        return BlockStmt(head=head, body=body)
+
+    def _stmt_while(self, scope: _FunctionScope, depth: int) -> Stmt:
+        counter = scope.counters[depth]
+        bound = self._loop_bounds(scope, depth + 1)
+        scope.loop_depth += 1
+        scope.loop_stack.append("while")
+        body = self._gen_stmt_list(scope, self.rng.randint(1, 3), depth + 1)
+        scope.loop_stack.pop()
+        scope.loop_depth -= 1
+        return BlockStmt(
+            head=f"{counter} = 0;\nwhile ({counter} < {bound}) {{",
+            body=body,
+            body_tail=f"{counter}++;",
+        )
+
+    def _stmt_dowhile(self, scope: _FunctionScope, depth: int) -> Stmt:
+        counter = scope.counters[depth]
+        bound = self._loop_bounds(scope, depth + 1)
+        scope.loop_depth += 1
+        scope.loop_stack.append("do")
+        body = self._gen_stmt_list(scope, self.rng.randint(1, 2), depth + 1)
+        scope.loop_stack.pop()
+        scope.loop_depth -= 1
+        return BlockStmt(
+            head=f"{counter} = 0;\ndo {{",
+            body=body,
+            body_tail=f"{counter}++;",
+            close=f"}} while ({counter} < {bound});",
+        )
+
+    def _stmt_break(self, scope: _FunctionScope, depth: int) -> Stmt:
+        return LeafStmt("break;")
+
+    def _stmt_continue(self, scope: _FunctionScope, depth: int) -> Stmt:
+        return LeafStmt("continue;")
+
+    def _stmt_return(self, scope: _FunctionScope, depth: int) -> Stmt:
+        return LeafStmt(f"return {self._expr(scope, 1)};")
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _call_text(self, scope: _FunctionScope, sig: _FuncSig, deep: bool = False) -> str:
+        rng = self.rng
+        if deep:
+            # main's top-level calls drive the deep chains that overflow and
+            # refill the register-window stack
+            depth_arg = str(rng.randint(self.config.max_recursion_depth // 2, self.config.max_recursion_depth))
+        elif scope.depth_param is not None and rng.random() < 0.5:
+            depth_arg = f"{scope.depth_param} - 1"
+        else:
+            depth_arg = str(rng.randint(0, 2))
+        args = [depth_arg]
+        args += [self._expr(scope, 1) for _ in range(sig.extra_ints)]
+        if sig.takes_pointer:
+            args.append(self._pointer_arg(scope))
+        return f"{sig.name}({', '.join(args)})"
+
+    def _pointer_arg(self, scope: _FunctionScope) -> str:
+        pool = self.global_int_arrays + scope.pointers
+        return self.rng.choice(pool) if pool else self.global_int_arrays[0]
+
+    def _index(self, scope: _FunctionScope) -> str:
+        """An always-in-bounds array index expression."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.4:
+            return str(rng.randint(0, ARRAY_MASK))
+        if roll < 0.7 and scope.counters:
+            return f"{rng.choice(scope.counters + scope.scalars)} & {ARRAY_MASK}"
+        return f"({self._expr(scope, 1)}) & {ARRAY_MASK}"
+
+    def _cond(self, scope: _FunctionScope) -> str:
+        rng = self.rng
+        roll = rng.random()
+        a = self._expr(scope, 1)
+        if roll < 0.55:
+            return f"{a} {rng.choice(_CMP_OPS)} {self._expr(scope, 1)}"
+        if roll < 0.75:
+            b = f"{self._expr(scope, 1)} {rng.choice(_CMP_OPS)} {self._expr(scope, 1)}"
+            op = rng.choice(["&&", "||"])
+            return f"{a} {rng.choice(_CMP_OPS)} 0 {op} {b}"
+        if roll < 0.9:
+            return f"!({a})"
+        return a
+
+    def _expr(self, scope: _FunctionScope, depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.2:
+            return self._atom(scope)
+        roll = rng.random()
+        if roll < 0.5:
+            op = rng.choice(_BIN_OPS)
+            return f"({self._expr(scope, depth - 1)} {op} {self._expr(scope, depth - 1)})"
+        if roll < 0.6:
+            op = rng.choice(["<<", ">>"])
+            count = self._shift_count(scope)
+            return f"({self._expr(scope, depth - 1)} {op} {count})"
+        if roll < 0.7:
+            op = rng.choice(["/", "%"])
+            return f"({self._expr(scope, depth - 1)} {op} (({self._expr(scope, depth - 1)}) | 1))"
+        if roll < 0.8:
+            op = rng.choice(["-", "~", "!"])
+            return f"{op}({self._expr(scope, depth - 1)})"
+        if roll < 0.88:
+            return f"({self._expr(scope, depth - 1)} {rng.choice(_CMP_OPS)} {self._expr(scope, depth - 1)})"
+        if roll < 0.94 and scope.call_exprs_left > 0 and scope.callees and scope.loop_depth == 0:
+            scope.call_exprs_left -= 1
+            return self._call_text(scope, rng.choice(scope.callees))
+        return self._atom(scope)
+
+    def _shift_count(self, scope: _FunctionScope) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.7:
+            return str(rng.randint(0, 31))
+        if roll < 0.9:
+            return f"(({self._atom(scope)}) & 31)"
+        # raw count: the ISA, the VAX and the IR interpreter must agree on
+        # out-of-range shift masking — leave it unmasked to prove they do
+        return f"({self._atom(scope)})"
+
+    def _atom(self, scope: _FunctionScope) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.38 and scope.scalars:
+            return rng.choice(scope.scalars)
+        if roll < 0.5:
+            return str(rng.randint(-64, 63))
+        if roll < 0.58:
+            return str(rng.randint(-2147483647, 2147483647))
+        if roll < 0.72 and scope.int_arrays:
+            return f"{rng.choice(scope.int_arrays)}[{self._index(scope)}]"
+        if roll < 0.78 and scope.char_arrays:
+            return f"{rng.choice(scope.char_arrays)}[{self._index(scope)}]"
+        if roll < 0.86 and scope.pointers:
+            pointer = rng.choice(scope.pointers)
+            return f"(*({pointer} + ({self._index(scope)})))"
+        if roll < 0.92 and scope.depth_param is not None:
+            return scope.depth_param
+        if roll < 0.96 and scope.counters:
+            return rng.choice(scope.counters)
+        return str(rng.randint(-9, 9))
+
+
+# -- public API ----------------------------------------------------------------------
+
+
+def generate_program(seed: int, profile: str = DEFAULT_PROFILE) -> FuzzProgram:
+    """The seed's program, as a minimizable statement tree."""
+    return ProgramGenerator(seed, profile).generate()
+
+
+def generate_source(seed: int, profile: str = DEFAULT_PROFILE) -> str:
+    """The seed's program, rendered to mini-C (byte-stable per seed)."""
+    return generate_program(seed, profile).render()

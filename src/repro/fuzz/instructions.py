@@ -1,0 +1,96 @@
+"""Seeded random RISC I instructions, in canonical form.
+
+This is the instruction-level half of the fuzzer: where :mod:`repro.fuzz.gen`
+emits whole C programs, this module emits single :class:`Instruction` values
+covering every opcode of Table III, for the encode/decode/disassemble/assemble
+round-trip property tests::
+
+    encode(inst) == assemble(disassemble(encode(inst), pc=pc)) at pc
+
+*Canonical* means fields the instruction does not architecturally use are
+zero, and the SCC bit is set only where it is meaningful — exactly the words
+the assembler itself can produce.  A non-canonical word (say, garbage in the
+unused rs1 field of CALLINT) decodes fine, but cannot survive a trip through
+text because the text has nowhere to carry the garbage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.isa.encoding import Instruction, S2_MAX, S2_MIN, Y_MAX, Y_MIN
+from repro.isa.opcodes import ALL_OPCODES, Category, Format, Opcode, opcode_info
+
+#: Opcodes whose DEST field holds a 4-bit jump condition.
+_COND_OPS = frozenset({Opcode.JMP, Opcode.JMPR})
+#: Opcodes taking only a single register operand (dest).
+_DEST_ONLY_OPS = frozenset(
+    {Opcode.CALLINT, Opcode.GTLPC, Opcode.GETPSW, Opcode.PUTPSW}
+)
+#: Returns: dest is unused (always 0), rs1 + s2 form the target.
+_RET_OPS = frozenset({Opcode.RET, Opcode.RETINT})
+
+#: A disassembly pc comfortably above |Y_MIN| so PC-relative targets
+#: (rendered as absolute addresses) never wrap below zero.
+ROUND_TRIP_PC = 0x0010_0000
+
+
+def _imm13(rng: random.Random) -> int:
+    """A 13-bit signed immediate, biased toward the boundary values."""
+    if rng.random() < 0.25:
+        return rng.choice((S2_MIN, -1, 0, 1, S2_MAX))
+    return rng.randint(S2_MIN, S2_MAX)
+
+
+def _imm19(rng: random.Random) -> int:
+    """A 19-bit signed immediate, biased toward the boundary values."""
+    if rng.random() < 0.25:
+        return rng.choice((Y_MIN, -4, 0, 4, Y_MAX))
+    return rng.randint(Y_MIN, Y_MAX)
+
+
+def random_instruction(rng: random.Random, opcode: Opcode) -> Instruction:
+    """One canonical random instruction for ``opcode``."""
+    info = opcode_info(opcode)
+
+    if info.format is Format.LONG:
+        if opcode in _COND_OPS:
+            dest = rng.randrange(16)  # the condition nibble; bit 4 unused
+        else:
+            dest = rng.randrange(32)
+        return Instruction.long(opcode, dest=dest, y=_imm19(rng))
+
+    if opcode in _DEST_ONLY_OPS:
+        return Instruction.short(opcode, dest=rng.randrange(32))
+
+    imm = rng.random() < 0.6
+    s2 = _imm13(rng) if imm else rng.randrange(32)
+    rs1 = rng.randrange(32)
+    if opcode in _RET_OPS:
+        return Instruction.short(opcode, dest=0, rs1=rs1, s2=s2, imm=imm)
+    if opcode in _COND_OPS:
+        return Instruction.short(opcode, dest=rng.randrange(16), rs1=rs1, s2=s2, imm=imm)
+    scc = info.may_set_cc and rng.random() < 0.5
+    return Instruction.short(
+        opcode, dest=rng.randrange(32), rs1=rs1, s2=s2, imm=imm, scc=scc
+    )
+
+
+def iter_instructions(
+    seed: int, per_opcode: int = 8, opcodes: tuple[Opcode, ...] = ALL_OPCODES
+) -> Iterator[Instruction]:
+    """Deterministic stream: ``per_opcode`` canonical samples of every opcode."""
+    rng = random.Random(seed)
+    for opcode in opcodes:
+        for _ in range(per_opcode):
+            yield random_instruction(rng, opcode)
+
+
+def arith_opcodes() -> tuple[Opcode, ...]:
+    """The 12 ALU opcodes (the ones whose SCC bit is meaningful)."""
+    return tuple(
+        info.opcode
+        for op in ALL_OPCODES
+        if (info := opcode_info(op)).category is Category.ARITH
+    )

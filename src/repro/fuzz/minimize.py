@@ -1,0 +1,311 @@
+"""Statement-level delta debugging for divergent fuzz programs.
+
+Given a program two oracles disagree about, shrink it until removing any
+further statement makes the disagreement vanish.  Interestingness is
+"compiles AND reproduces the *same* divergence signature" (same failed
+check, same differing fields — see
+:meth:`repro.fuzz.crosscheck.CrossCheckReport.signature`), so the
+minimizer cannot wander off onto a different bug mid-shrink.
+
+Minimization is **removal-only**.  The generator's termination
+invariants (loop counters stepped in ``for`` headers or non-removable
+block tails, ``continue`` only under ``for``) survive any subset of
+statements, so a shrunken program still terminates; passes that *move*
+statements between loop contexts could break that and are deliberately
+not implemented.
+
+Two entry points:
+
+* :func:`minimize_program` — works on the generator's statement tree
+  (:class:`~repro.fuzz.gen.FuzzProgram`), the precise path used for
+  campaign seeds;
+* :func:`minimize_source` — works on any source text via a brace-aware
+  line reducer; used when all we have is a ``.c`` file.  When ``seed``
+  is given it regenerates the tree and takes the precise path.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.fuzz.crosscheck import DEFAULT_MAX_STEPS, CrossCheckReport, crosscheck_source
+from repro.fuzz.gen import DEFAULT_PROFILE, BlockStmt, FuzzProgram, Stmt, generate_program
+
+#: Hard cap on full fixpoint rounds; each round is itself monotone
+#: shrinking, so this only guards pathological oscillation.
+MAX_ROUNDS = 8
+
+
+class MinimizeError(ValueError):
+    """The input program does not reproduce a divergence at all."""
+
+
+def _interesting_for(
+    signature: str, max_steps: int, counter: list[int]
+) -> Callable[[str], bool]:
+    def interesting(source: str) -> bool:
+        counter[0] += 1
+        report = crosscheck_source(source, max_steps=max_steps)
+        return report.status == "divergent" and report.signature() == signature
+
+    return interesting
+
+
+# -- list-level ddmin ----------------------------------------------------------------
+
+
+def _ddmin_list(items: list, test: Callable[[list], bool]) -> list:
+    """Classic ddmin: a minimal sublist of ``items`` still passing ``test``.
+
+    ``test`` receives a candidate sublist and must be free of side
+    effects.  The empty list is tried first — the common fixpoint.
+    """
+    if not items:
+        return items
+    if test([]):
+        return []
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, (len(current) + granularity - 1) // granularity)
+        shrunk = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk :]
+            if candidate and test(candidate):
+                current = candidate
+                shrunk = True
+                # keep scanning from the same offset: the next chunk
+                # slid into this position
+            else:
+                start += chunk
+        if shrunk:
+            granularity = max(granularity - 1, 2)
+        elif granularity >= len(current):
+            break
+        else:
+            granularity = min(len(current), granularity * 2)
+    if len(current) == 1 and test([]):
+        return []
+    return current
+
+
+# -- tree-path minimization ------------------------------------------------------------
+
+
+def _all_blocks(program: FuzzProgram) -> list[BlockStmt]:
+    blocks: list[BlockStmt] = []
+
+    def walk(stmts: list[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, BlockStmt):
+                blocks.append(stmt)
+                for child in stmt.child_lists():
+                    walk(child)
+
+    for fn in program.functions:
+        walk(fn.body)
+    return blocks
+
+
+def minimize_program(
+    program: FuzzProgram,
+    *,
+    signature: str | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> tuple[str, CrossCheckReport, int]:
+    """Shrink a divergent generated program on its statement tree.
+
+    Returns ``(minimized_source, report_on_minimized, tests_run)``.
+    Raises :class:`MinimizeError` if the program doesn't diverge (or
+    doesn't match ``signature``) to begin with.
+    """
+    program = copy.deepcopy(program)
+    baseline = crosscheck_source(program.render(), max_steps=max_steps)
+    if baseline.status != "divergent":
+        raise MinimizeError(f"program does not diverge (status: {baseline.status})")
+    if signature is None:
+        signature = baseline.signature()
+    elif baseline.signature() != signature:
+        raise MinimizeError(
+            f"program diverges with a different signature:\n"
+            f"  want {signature}\n  have {baseline.signature()}"
+        )
+    tests = [0]
+    interesting = _interesting_for(signature, max_steps, tests)
+
+    for _ in range(MAX_ROUNDS):
+        before = program.render()
+
+        # pass 1: drop whole helper functions
+        for fn in [f for f in program.functions if f.name != "main"]:
+            keep = list(program.functions)
+            keep.remove(fn)
+            candidate = _with_functions(program, keep)
+            if interesting(candidate.render()):
+                program = candidate
+
+        # pass 2: ddmin every statement list (live lists: mutating them
+        # mutates the program)
+        for stmts in program.statement_lists():
+            if not stmts:
+                continue
+
+            def test(candidate: list, _stmts: list = stmts) -> bool:
+                saved = list(_stmts)
+                _stmts[:] = candidate
+                ok = interesting(program.render())
+                if not ok:
+                    _stmts[:] = saved
+                return ok
+
+            _ddmin_inplace(stmts, test)
+
+        # pass 3: drop else branches
+        for block in _all_blocks(program):
+            if block.else_body is not None:
+                saved = block.else_body
+                block.else_body = None
+                if not interesting(program.render()):
+                    block.else_body = saved
+
+        # pass 4: drop global and prologue lines one at a time
+        for lines in [program.globals] + [fn.prologue for fn in program.functions]:
+            index = 0
+            while index < len(lines):
+                saved = lines[index]
+                del lines[index]
+                if interesting(program.render()):
+                    continue  # next line slid into this index
+                lines.insert(index, saved)
+                index += 1
+
+        if program.render() == before:
+            break
+
+    final_source = program.render()
+    final_report = crosscheck_source(final_source, max_steps=max_steps)
+    return final_source, final_report, tests[0]
+
+
+def _ddmin_inplace(stmts: list, test: Callable[[list], bool]) -> None:
+    """ddmin over a live list whose ``test`` applies/reverts in place."""
+    if test([]):
+        return
+    granularity = 2
+    while len(stmts) >= 2:
+        chunk = max(1, (len(stmts) + granularity - 1) // granularity)
+        shrunk = False
+        start = 0
+        while start < len(stmts):
+            candidate = stmts[:start] + stmts[start + chunk :]
+            if candidate and test(candidate):
+                shrunk = True
+            else:
+                start += chunk
+        if shrunk:
+            granularity = max(granularity - 1, 2)
+        elif granularity >= len(stmts):
+            break
+        else:
+            granularity = min(len(stmts), granularity * 2)
+    if len(stmts) == 1:
+        test([])
+
+
+def _with_functions(program: FuzzProgram, functions: list) -> FuzzProgram:
+    return FuzzProgram(
+        seed=program.seed,
+        profile=program.profile,
+        globals=list(program.globals),
+        functions=functions,
+    )
+
+
+def minimize_seed(
+    seed: int,
+    profile: str = DEFAULT_PROFILE,
+    *,
+    signature: str | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> tuple[str, CrossCheckReport, int]:
+    """Regenerate the seed's program and minimize it on its tree."""
+    return minimize_program(
+        generate_program(seed, profile), signature=signature, max_steps=max_steps
+    )
+
+
+# -- source-text minimization ----------------------------------------------------------
+
+
+def _units(lines: list[str]) -> list[list[str]]:
+    """Group lines into removable units: single lines or balanced blocks."""
+    units: list[list[str]] = []
+    depth = 0
+    current: list[str] = []
+    for line in lines:
+        current.append(line)
+        depth += line.count("{") - line.count("}")
+        if depth == 0:
+            units.append(current)
+            current = []
+    if current:  # unbalanced tail — keep as one unit, never removed piecemeal
+        units.append(current)
+    return units
+
+
+def minimize_source(
+    source: str,
+    *,
+    seed: int | None = None,
+    profile: str = DEFAULT_PROFILE,
+    signature: str | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> tuple[str, CrossCheckReport, int]:
+    """Shrink any divergent source text.
+
+    With ``seed``, takes the precise statement-tree path (the source is
+    regenerated from the seed).  Without, applies a brace-aware line
+    reducer: top-level units (lines / balanced blocks) are ddmin'd, then
+    the interiors of surviving blocks, to a fixpoint.
+    """
+    if seed is not None:
+        return minimize_seed(seed, profile, signature=signature, max_steps=max_steps)
+
+    baseline = crosscheck_source(source, max_steps=max_steps)
+    if baseline.status != "divergent":
+        raise MinimizeError(f"source does not diverge (status: {baseline.status})")
+    if signature is None:
+        signature = baseline.signature()
+    elif baseline.signature() != signature:
+        raise MinimizeError("source diverges with a different signature")
+    tests = [0]
+    interesting = _interesting_for(signature, max_steps, tests)
+
+    lines = source.split("\n")
+    for _ in range(MAX_ROUNDS):
+        before = lines
+
+        # top-level: remove whole units
+        units = _units(lines)
+        kept = _ddmin_list(units, lambda cand: interesting("\n".join(l for u in cand for l in u)))
+        lines = [line for unit in kept for line in unit]
+
+        # interior: remove lines inside each surviving multi-line block
+        index = 0
+        while index < len(lines):
+            line = lines[index]
+            candidate = lines[:index] + lines[index + 1 :]
+            # only try lines that keep braces balanced when removed
+            if line.count("{") == line.count("}") and interesting("\n".join(candidate)):
+                lines = candidate
+            else:
+                index += 1
+
+        if lines == before:
+            break
+
+    final_source = "\n".join(lines)
+    final_report = crosscheck_source(final_source, max_steps=max_steps)
+    return final_source, final_report, tests[0]

@@ -304,6 +304,11 @@ def parse_workload_spec(spec: str) -> tuple[str, dict[str, int]]:
     overrides: dict[str, int] = {}
     params = workload.default_params
     for part in arg.split(","):
+        if not part.strip():
+            raise ValueError(
+                f"workload spec {spec!r}: empty argument part "
+                f"(stray or trailing comma)"
+            )
         key, eq, value = part.partition("=")
         if not eq:
             if len(params) != 1:
@@ -315,6 +320,10 @@ def parse_workload_spec(spec: str) -> tuple[str, dict[str, int]]:
         if key not in params:
             raise ValueError(
                 f"workload {name!r} has no parameter {key!r} (has: {sorted(params)})"
+            )
+        if key in overrides:
+            raise ValueError(
+                f"workload spec {spec!r}: duplicate parameter {key!r}"
             )
         try:
             overrides[key] = int(value)

@@ -1,0 +1,23 @@
+/* fuzz divergence: seed=4 profile=default
+ * signature: risc-ref-vs-vax-ref|exit_code,output,output_sha
+ * minimized: yes (hand-tightened from the delta-debugged repro)
+ *
+ * RISC I (and the IR interpreter) returned 36; the VAX backend returned
+ * -4 with different console output.  Root cause: ciscgen's variable-count
+ * shift lowering negated the raw 32-bit count before VAX ashl read it as
+ * a signed byte, so counts outside [0, 127] (here -5, and any value with
+ * bit 5+ set) changed both shift magnitude and direction instead of
+ * being masked to 5 bits like the RISC I shifter.  Fixed by masking the
+ * count with `andl3 #31` before negation (and `& 31` on the constant
+ * path).  The cross-check in tests/test_engine_diff.py keeps this file
+ * green forever.
+ */
+int c = -5;
+
+int main(void) {
+    int x = -1;
+    putint(x >> c);
+    putint(x << c);
+    putint(12345 >> c);
+    return 0;
+}

@@ -413,3 +413,23 @@ class TestPipelineParity:
             runs[engine] = result.pipeline.to_dict()
         assert runs["fast"] == runs["reference"]
         assert runs["fast"]["window_stalls"] > 0
+
+
+# -- fuzz corpus ---------------------------------------------------------------
+#
+# Every file in tests/fuzz_corpus/ is a minimized repro of a divergence the
+# differential fuzzer once found (and this repo then fixed).  Cross-checking
+# each one across all five oracles keeps every fixed bug fixed: a regression
+# turns the file's report divergent again and names the disagreeing oracles.
+
+from pathlib import Path
+
+FUZZ_CORPUS = sorted((Path(__file__).parent / "fuzz_corpus").glob("*.c"))
+
+
+@pytest.mark.parametrize("path", FUZZ_CORPUS, ids=lambda p: p.stem)
+def test_fuzz_corpus_stays_clean(path):
+    from repro.fuzz.crosscheck import crosscheck_source
+
+    report = crosscheck_source(path.read_text(encoding="utf-8"), max_steps=2_000_000)
+    assert report.status == "ok", report.render()

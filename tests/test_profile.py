@@ -322,6 +322,26 @@ def test_parse_workload_spec():
         parse_workload_spec("towers:DISKS=big")
 
 
+def test_parse_workload_spec_rejects_empty_parts_and_duplicates():
+    # stray/trailing commas used to fall through to the bare-int path
+    # with a confusing message (or, for multi-param workloads, the
+    # unrelated "has parameters" error)
+    with pytest.raises(ValueError, match="empty argument part"):
+        parse_workload_spec("towers:10,,")
+    with pytest.raises(ValueError, match="empty argument part"):
+        parse_workload_spec("towers:,10")
+    with pytest.raises(ValueError, match="empty argument part"):
+        parse_workload_spec("bit_matrix_k:N=8,,REPS=2")
+    # duplicate keys used to silently last-win
+    with pytest.raises(ValueError, match="duplicate parameter 'N'"):
+        parse_workload_spec("bit_matrix_k:N=8,N=9")
+    with pytest.raises(ValueError, match="duplicate parameter 'DISKS'"):
+        parse_workload_spec("towers:3,4")  # two bare values name the same param
+    # equivalent duplicate values are still duplicates (explicit > lenient)
+    with pytest.raises(ValueError, match="duplicate parameter"):
+        parse_workload_spec("bit_matrix_k:N=8,N=8")
+
+
 def test_experiments_cli_validates_trace_workload(tmp_path):
     from repro.experiments.cli import main as experiments_main
 

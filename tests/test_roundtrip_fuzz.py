@@ -1,0 +1,114 @@
+"""Property-based encode/decode/disassemble/assemble round trips.
+
+Driven by the fuzzer's canonical instruction generator
+(:mod:`repro.fuzz.instructions`): for every opcode in Table III, a
+canonical random instruction must survive
+
+* ``encode -> decode -> encode`` bit-identically, and
+* ``encode -> disassemble(pc) -> assemble -> encode`` bit-identically —
+  i.e. the disassembler's text is always valid assembler input naming
+  the same word.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.assembler import assemble
+from repro.asm.disasm import disassemble
+from repro.fuzz.instructions import (
+    ROUND_TRIP_PC,
+    arith_opcodes,
+    iter_instructions,
+    random_instruction,
+)
+from repro.isa.encoding import Instruction, decode, encode
+from repro.isa.opcodes import ALL_OPCODES, Opcode
+
+
+def reassemble(text: str, pc: int = ROUND_TRIP_PC) -> int:
+    """Assemble a single disassembled instruction placed at ``pc``."""
+    program = assemble(f"_start:\n  {text}\n", code_base=pc)
+    return int.from_bytes(program.segments[0].data[:4], "big")
+
+
+def round_trip(inst: Instruction) -> None:
+    word = encode(inst)
+    assert decode(word) == inst, f"decode not inverse of encode for {inst}"
+    assert encode(decode(word)) == word
+    text = disassemble(word, pc=ROUND_TRIP_PC)
+    word2 = reassemble(text)
+    assert word2 == word, (
+        f"{inst.opcode.name}: {text!r} reassembled to {word2:#010x}, "
+        f"expected {word:#010x} ({disassemble(word2, pc=ROUND_TRIP_PC)!r})"
+    )
+
+
+@pytest.mark.parametrize("opcode", ALL_OPCODES, ids=lambda op: op.name)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_every_opcode_round_trips(opcode, data):
+    rng = random.Random(data.draw(st.integers(0, 2**32 - 1)))
+    round_trip(random_instruction(rng, opcode))
+
+
+def test_seeded_stream_round_trips_and_is_deterministic():
+    a = list(iter_instructions(1234, per_opcode=16))
+    b = list(iter_instructions(1234, per_opcode=16))
+    assert a == b, "iter_instructions must be a pure function of its seed"
+    assert {inst.opcode for inst in a} == set(ALL_OPCODES)
+    for inst in a:
+        round_trip(inst)
+
+
+def test_scc_only_generated_where_meaningful():
+    alu = set(arith_opcodes())
+    assert len(alu) == 12
+    for inst in iter_instructions(7, per_opcode=32):
+        if inst.scc:
+            assert inst.opcode in alu
+
+
+class TestRegressionForms:
+    """Specific forms the round trip used to lose (fixed alongside the fuzzer)."""
+
+    def test_register_indexed_load(self):
+        # imm=0 loads index by register; used to disassemble as "5(r2)"
+        inst = Instruction.short(Opcode.LDL, dest=3, rs1=2, s2=5, imm=False)
+        assert "(r2)r5" in disassemble(encode(inst))
+        round_trip(inst)
+
+    def test_register_indexed_store_and_jump(self):
+        round_trip(Instruction.short(Opcode.STB, dest=7, rs1=4, s2=9, imm=False))
+        round_trip(Instruction.short(Opcode.JMP, dest=12, rs1=1, s2=2, imm=False))
+
+    def test_call_with_explicit_link_register(self):
+        # the assembler used to force dest=31, rejecting "call r5, ..."
+        round_trip(Instruction.short(Opcode.CALL, dest=5, rs1=2, s2=-8, imm=True))
+        round_trip(Instruction.short(Opcode.CALL, dest=0, rs1=3, s2=4, imm=False))
+
+    def test_callr_with_explicit_link_register(self):
+        round_trip(Instruction.long(Opcode.CALLR, dest=5, y=-64))
+
+    def test_ldhi_negative_y(self):
+        # used to render as "#0x7xxxx" which failed the 19-bit range check
+        round_trip(Instruction.long(Opcode.LDHI, dest=1, y=-1))
+        round_trip(Instruction.long(Opcode.LDHI, dest=2, y=-(1 << 18)))
+
+    def test_ret_with_register_s2(self):
+        # the register-s2 return form used to be unparseable
+        inst = Instruction.short(Opcode.RET, dest=0, rs1=31, s2=6, imm=False)
+        assert disassemble(encode(inst)).endswith("r31, r6")
+        round_trip(inst)
+        round_trip(Instruction.short(Opcode.RETINT, dest=0, rs1=30, s2=3, imm=False))
+
+    def test_plain_forms_unchanged(self):
+        # the common assembler-authored spellings still mean the same bits
+        assert reassemble("ldl r4, 8(r1)") == encode(
+            Instruction.short(Opcode.LDL, dest=4, rs1=1, s2=8, imm=True)
+        )
+        assert reassemble("call r31, 0(r2)") == reassemble("call (r2)") == reassemble("call r2")
+        assert reassemble("ret") == encode(
+            Instruction.short(Opcode.RET, dest=0, rs1=31, s2=8, imm=True)
+        )

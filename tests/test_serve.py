@@ -174,6 +174,70 @@ class TestStructuredErrors:
         assert "error" in body
 
 
+class TestInlineSource:
+    """POST /jobs with fuzz-generated inline source (the ``source`` field)."""
+
+    GOOD = "int main(void) { putint(6 * 7); return 0; }\n"
+    BAD = "int main(void) { return undeclared_variable; }\n"
+
+    def test_good_source_runs_end_to_end(self, server):
+        _, base, _ = server
+        code, body = _request(
+            base, "POST", "/jobs",
+            {"workload": "fuzz-demo", "source": self.GOOD},
+        )
+        assert code == 202
+        code, status = _request(base, "GET", f"/jobs/{body['key']}?wait=60")
+        assert code == 200
+        assert status["state"] == "done"
+        assert status["metrics"]["exit_code"] == 0
+
+    def test_uncompilable_source_is_structured_400(self, server):
+        srv, base, _ = server
+        code, body = _request(
+            base, "POST", "/jobs",
+            {"workload": "fuzz-bad", "source": self.BAD},
+        )
+        assert code == 400
+        assert body["error"]["field"] == "source"
+        assert "does not compile" in body["error"]["message"]
+        assert "Traceback" not in json.dumps(body)
+        assert srv.counters["server_errors"] == 0
+
+    def test_uncompilable_source_mid_batch_is_400_not_500(self, server):
+        # a fuzz campaign POSTing a batch where one program fails RCC:
+        # the whole POST must answer a structured 400, never a 500/hang
+        srv, base, _ = server
+        code, body = _request(
+            base, "POST", "/jobs",
+            {"jobs": [
+                {"workload": "towers"},
+                {"workload": "fuzz-bad", "source": self.BAD},
+                {"workload": "qsort"},
+            ]},
+        )
+        assert code == 400
+        assert body["error"]["field"] == "source"
+        assert srv.counters["server_errors"] == 0
+        assert srv.counters["bad_requests"] == 1
+
+    def test_empty_source_is_structured_400(self, server):
+        _, base, _ = server
+        code, body = _request(
+            base, "POST", "/jobs", {"workload": "x", "source": "   "}
+        )
+        assert code == 400
+        assert body["error"]["field"] == "source"
+
+    def test_non_string_source_is_structured_400(self, server):
+        _, base, _ = server
+        code, body = _request(
+            base, "POST", "/jobs", {"workload": "x", "source": 42}
+        )
+        assert code == 400
+        assert body["error"]["field"] == "source"
+
+
 class TestStreaming:
     def test_stream_emits_ndjson_until_terminal(self, server):
         _, base, _ = server
