@@ -1,0 +1,108 @@
+"""Benchmark harness for the execution recorder's overhead.
+
+Runs towers and qsort on the RISC I simulator three ways — the plain
+fast-engine run (recording off), :func:`repro.obs.record.record_run` at
+the default checkpoint interval, and recording at a dense interval (one
+checkpoint per ~tenth of the run, the worst case a debugger session
+would realistically configure) — and emits ``BENCH_record.json``.
+
+Two load-bearing assertions:
+
+* recording *off* is the unchanged hot path — its throughput must stay
+  within environment-variance range of the committed
+  ``engine_speed_baseline.json`` fast-engine number (the snapshot API is
+  methods on the CPU, not code in the step loop);
+* recording *on* at the default interval must stay within 2x of the
+  untraced throughput, because the recorder drives the same fast engine
+  in interval-sized chunks and only pays one ``snapshot()`` (a zlib pass
+  over memory) per checkpoint.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.cc.driver import compile_program
+from repro.core.cpu import CPU
+from repro.farm.jobs import workload_source
+from repro.obs.record import DEFAULT_INTERVAL, record_run
+
+WORKLOADS = ("towers", "qsort")
+REPEATS = 5
+
+#: recording-off throughput vs the committed cross-machine baseline; the
+#: wide band absorbs host differences, while still catching an accidental
+#: hot-loop regression (those show up as 3-7x, not 2x)
+MIN_BASELINE_RATIO = 0.5
+
+#: recording-on at the default interval vs recording-off (the criterion)
+MAX_RECORD_SLOWDOWN = 2.0
+
+
+def _plain_steps_per_s(program):
+    best = 0.0
+    for _ in range(REPEATS):
+        cpu = CPU()
+        cpu.load(program)
+        started = time.perf_counter()
+        result = cpu.run(max_steps=500_000_000, record=False)
+        elapsed = time.perf_counter() - started
+        assert result.exit_code == 0
+        best = max(best, result.instructions / elapsed)
+    return best
+
+
+def _recorded_steps_per_s(program, interval):
+    best = 0.0
+    checkpoints = 0
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        recording = record_run(CPU(), program, interval=interval, record=False)
+        elapsed = time.perf_counter() - started
+        assert recording.outcome["outcome"] == "halt"
+        best = max(best, recording.steps / elapsed)
+        checkpoints = len(recording.checkpoints)
+    return best, checkpoints
+
+
+def test_record_overhead(scale, capsys, bench_json):
+    baseline_path = pathlib.Path(__file__).parent / "engine_speed_baseline.json"
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    results = {"scale": scale, "repeats": REPEATS, "workloads": {}}
+    for name in WORKLOADS:
+        program = compile_program(workload_source(name, scale)).program
+        plain = _plain_steps_per_s(program)
+        recorded, checkpoints = _recorded_steps_per_s(program, DEFAULT_INTERVAL)
+        # dense: ~10 checkpoints over the run, the realistic worst case
+        cpu = CPU()
+        cpu.load(program)
+        steps = cpu.run(record=False).instructions
+        dense_interval = max(1000, steps // 10)
+        dense, dense_checkpoints = _recorded_steps_per_s(program, dense_interval)
+        numbers = {
+            "plain_steps_per_s": round(plain),
+            "recorded_steps_per_s": round(recorded),
+            "record_slowdown": round(plain / recorded, 3),
+            "checkpoints": checkpoints,
+            "dense_interval": dense_interval,
+            "dense_steps_per_s": round(dense),
+            "dense_slowdown": round(plain / dense, 3),
+            "dense_checkpoints": dense_checkpoints,
+        }
+        committed = baseline.get("workloads", {}).get(name)
+        if committed:
+            numbers["baseline_fast_steps_per_s"] = committed["fast_steps_per_s"]
+            numbers["vs_baseline"] = round(plain / committed["fast_steps_per_s"], 3)
+        results["workloads"][name] = numbers
+
+    bench_json("BENCH_record.json", results)
+    with capsys.disabled():
+        print("\n" + json.dumps(results, indent=2))
+
+    for name, numbers in results["workloads"].items():
+        # recording off: the unchanged hot path, within variance of baseline
+        if "vs_baseline" in numbers:
+            assert numbers["vs_baseline"] >= MIN_BASELINE_RATIO, (name, numbers)
+        # recording on (default interval): within 2x of untraced throughput
+        assert numbers["record_slowdown"] <= MAX_RECORD_SLOWDOWN, (name, numbers)

@@ -24,12 +24,15 @@ from repro.baselines.vax.isa import (
 )
 from repro.baselines.vax.timing import VaxTiming
 from repro.core.api import (
+    SNAPSHOT_SCHEMA_VERSION,
     MachineHalted,
     RunResult,
     StepLimitExceeded,
+    pack_bytes,
     register_stats_type,
     resolve_engine,
     resolve_max_steps,
+    unpack_bytes,
 )
 from repro.core.program import Program
 from repro.machine.memory import Memory
@@ -361,6 +364,69 @@ class VaxCPU:
             self.stats.by_mnemonic[info.mnemonic] += 1
             if self._trace_retire:
                 self.tracer.retire(self.stats.cycles, pc, info.mnemonic, cycles)
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Complete architectural state, JSON-safe and bit-exact.
+
+        The operand decode cache is *not* state — it is rebuilt on demand
+        and cleared by :meth:`restore` (the restored memory may hold
+        different instruction bytes).
+        """
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "machine": self.name,
+            "pc": self.pc,
+            "halted": self._halted,
+            "exit_code": self._exit_code,
+            "console": "".join(self._console),
+            "depth": self._depth,
+            "regs": list(self.regs),
+            "flags": [self.n, self.z, self.v, self.c],
+            "stats": self.stats.to_dict(),
+            "memory": {
+                "size": self.memory.size,
+                "data": pack_bytes(self.memory._bytes),
+                "inst_fetches": self.memory.stats.inst_fetches,
+                "data_reads": self.memory.stats.data_reads,
+                "data_writes": self.memory.stats.data_writes,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Install a :meth:`snapshot`; the register list and memory bytes
+        are updated in place (cached operand evaluators hold references)."""
+        if state.get("machine") != self.name:
+            raise ValueError(
+                f"snapshot is for machine {state.get('machine')!r}, not {self.name!r}"
+            )
+        if state.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(f"unsupported snapshot schema {state.get('schema')!r}")
+        memory = state["memory"]
+        if memory["size"] != self.memory.size:
+            raise ValueError(
+                f"snapshot memory is {memory['size']} bytes, "
+                f"this CPU has {self.memory.size}"
+            )
+        image = unpack_bytes(memory["data"])
+        if len(image) != self.memory.size:
+            raise ValueError("snapshot memory image does not match its declared size")
+        self.pc = state["pc"]
+        self._halted = state["halted"]
+        self._exit_code = state["exit_code"]
+        self._console = [state["console"]] if state["console"] else []
+        self._depth = state["depth"]
+        self.regs[:] = state["regs"]
+        self.n, self.z, self.v, self.c = state["flags"]
+        self.stats = VaxStats.from_dict(state["stats"])
+        self.memory._bytes[:] = image
+        self.memory.stats.inst_fetches = memory["inst_fetches"]
+        self.memory.stats.data_reads = memory["data_reads"]
+        self.memory.stats.data_writes = memory["data_writes"]
+        self._decode_cache.clear()
+        self._cache_lo = self.memory.size
+        self._cache_hi = 0
 
     # -- instruction stream ------------------------------------------------------
 

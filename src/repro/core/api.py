@@ -24,8 +24,10 @@ pre-existing callers and cached farm artifacts keep loading.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import os
+import zlib
 from typing import Any, Protocol, runtime_checkable
 
 from repro.machine.traps import Trap, TrapKind
@@ -37,12 +39,15 @@ __all__ = [
     "MachineHalted",
     "RESULT_SCHEMA_VERSION",
     "RunResult",
+    "SNAPSHOT_SCHEMA_VERSION",
     "StepLimitExceeded",
     "VALID_ENGINES",
+    "pack_bytes",
     "register_stats_type",
     "resolve_engine",
     "resolve_max_steps",
     "stats_type",
+    "unpack_bytes",
 ]
 
 #: The one step budget every machine defaults to.  (Historically the two
@@ -62,6 +67,23 @@ VALID_ENGINES = ("fast", "reference")
 
 #: Engine used when neither the call site nor ``$REPRO_ENGINE`` says.
 DEFAULT_ENGINE = "fast"
+
+#: Bump on any backwards-incompatible :meth:`Machine.snapshot` change.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def pack_bytes(data: bytes | bytearray) -> str:
+    """Encode a byte image as compressed base64 (JSON-safe).
+
+    Snapshots carry the whole simulated memory; images are overwhelmingly
+    zero bytes, so a fast zlib pass makes a 1 MiB memory a few-KB string.
+    """
+    return base64.b64encode(zlib.compress(bytes(data), 1)).decode("ascii")
+
+
+def unpack_bytes(text: str) -> bytearray:
+    """Invert :func:`pack_bytes`."""
+    return bytearray(zlib.decompress(base64.b64decode(text.encode("ascii"))))
 
 
 def resolve_engine(engine: str | None = None) -> str:
@@ -257,4 +279,20 @@ class Machine(Protocol):
 
     def step(self) -> None:
         """Execute one instruction; raises :class:`MachineHalted` at halt."""
+        ...
+
+    def snapshot(self) -> dict:
+        """The complete architectural state as a JSON-safe dict.
+
+        The contract is *bit-exact resumability*: ``restore(snapshot())``
+        on any machine of the same shape (same memory size, same window
+        count) must leave it indistinguishable from the original — the
+        same future execution, stats, traffic counters and output,
+        whichever engine runs it.  Byte images are packed with
+        :func:`pack_bytes`; the dict round-trips through ``json``.
+        """
+        ...
+
+    def restore(self, state: dict) -> None:
+        """Install a :meth:`snapshot`; raises ``ValueError`` on mismatch."""
         ...

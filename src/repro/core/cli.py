@@ -53,7 +53,28 @@ def main(argv: list[str] | None = None) -> int:
         "summary; CONFIG is key=value pairs like pred=bht2,fwd=full "
         "(bare gives the base configuration)",
     )
+    parser.add_argument(
+        "--dbg",
+        action="store_true",
+        help="record the run and drop into the time-travel debugger at "
+        "entry (also stops at a recorded trap or step limit)",
+    )
+    parser.add_argument(
+        "--break",
+        dest="breakpoints",
+        action="append",
+        metavar="SPEC",
+        help="with --dbg: set a breakpoint (PC, symbol, or :LINE); repeatable",
+    )
+    parser.add_argument(
+        "--dbg-script",
+        metavar="FILE",
+        help="with --dbg: run debugger commands from FILE non-interactively",
+    )
     args = parser.parse_args(argv)
+
+    if (args.breakpoints or args.dbg_script) and not args.dbg:
+        parser.error("--break/--dbg-script require --dbg")
 
     if args.uarch is not None:
         from repro.uarch import parse_uarch_config
@@ -72,6 +93,36 @@ def main(argv: list[str] | None = None) -> int:
     except AssemblerError as error:
         print(f"{args.source}: {error}", file=sys.stderr)
         return 1
+
+    if args.dbg:
+        from pathlib import Path
+
+        from repro.dbg.cli import _enter_debugger, apply_breakpoints
+        from repro.dbg.session import DebugSession, SpecError
+        from repro.obs.record import record_run
+
+        recording = record_run(
+            CPU(num_windows=args.windows),
+            program,
+            max_steps=args.max_instructions,
+            engine=args.engine,
+            workload=Path(args.source).name,
+        )
+        session = DebugSession(recording, engine=args.engine)
+        try:
+            apply_breakpoints(session, args.breakpoints)
+        except SpecError as error:
+            parser.error(f"bad breakpoint spec: {error}")
+        if recording.outcome["outcome"] != "halt":
+            # position at the recorded end so the trap/step-limit site is
+            # on screen; reverse commands walk back from there
+            session.seek(recording.steps)
+            print(
+                f"run ended in {recording.outcome['outcome']} at step "
+                f"{recording.steps}; debugger positioned there",
+                file=sys.stderr,
+            )
+        return _enter_debugger(session, args.dbg_script)
 
     cpu = CPU(num_windows=args.windows)
     cpu.load(program)

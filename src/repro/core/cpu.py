@@ -35,11 +35,14 @@ from repro.isa.conditions import Cond, ConditionCodes, cond_holds
 from repro.isa.encoding import Instruction, decode
 from repro.isa.opcodes import Opcode
 from repro.core.api import (
+    SNAPSHOT_SCHEMA_VERSION,
     MachineHalted,
     RunResult,
     StepLimitExceeded,
+    pack_bytes,
     resolve_engine,
     resolve_max_steps,
+    unpack_bytes,
 )
 from repro.core.program import Program
 from repro.core.stats import ExecutionStats
@@ -596,6 +599,107 @@ class CPU:
                 pc=pc,
             )
         self.psw.unpack(word)
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Complete architectural state, JSON-safe and bit-exact.
+
+        Stats counters are synced first (idempotent), so a snapshot taken
+        after manual ``step()``-ing and one taken after a ``run()`` chunk
+        covering the same steps are identical.
+        """
+        self._sync_memory_stats()
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "machine": self.name,
+            "pc": self.pc,
+            "npc": self.npc,
+            "last_pc": self._last_pc,
+            "halted": self._halted,
+            "exit_code": self._exit_code,
+            "console": "".join(self._console),
+            "pending": list(self._pending) if self._pending is not None else None,
+            "interrupt_request": self._interrupt_request,
+            "interrupts_taken": self.interrupts_taken,
+            "save_sp": self._save_sp,
+            "regs": {
+                "num_windows": self.regs.num_windows,
+                "spill_batch": self.regs.spill_batch,
+                "data": list(self.regs._regs),
+                "cwp": self.regs.cwp,
+                "resident": self.regs.resident,
+                "depth": self.regs.depth,
+                "overflows": self.regs.overflows,
+                "underflows": self.regs.underflows,
+                "calls": self.regs.calls,
+                "returns": self.regs.returns,
+            },
+            "psw": self.psw.pack(),
+            "stats": self.stats.to_dict(),
+            "memory": {
+                "size": self.memory.size,
+                "data": pack_bytes(self.memory._bytes),
+                "inst_fetches": self.memory.stats.inst_fetches,
+                "data_reads": self.memory.stats.data_reads,
+                "data_writes": self.memory.stats.data_writes,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Install a :meth:`snapshot` taken from a machine of the same shape.
+
+        Shared mutable structures (the register file's backing list, the
+        memory bytearray) are updated in place, never replaced — cached
+        engine closures and operand evaluators hold references to them.
+        """
+        if state.get("machine") != self.name:
+            raise ValueError(
+                f"snapshot is for machine {state.get('machine')!r}, not {self.name!r}"
+            )
+        if state.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(f"unsupported snapshot schema {state.get('schema')!r}")
+        regs = state["regs"]
+        if regs["num_windows"] != self.regs.num_windows:
+            raise ValueError(
+                f"snapshot has {regs['num_windows']} windows, "
+                f"this CPU has {self.regs.num_windows}"
+            )
+        memory = state["memory"]
+        if memory["size"] != self.memory.size:
+            raise ValueError(
+                f"snapshot memory is {memory['size']} bytes, "
+                f"this CPU has {self.memory.size}"
+            )
+        image = unpack_bytes(memory["data"])
+        if len(image) != self.memory.size:
+            raise ValueError("snapshot memory image does not match its declared size")
+        self.pc = state["pc"]
+        self.npc = state["npc"]
+        self._last_pc = state["last_pc"]
+        self._halted = state["halted"]
+        self._exit_code = state["exit_code"]
+        self._console = [state["console"]] if state["console"] else []
+        pending = state["pending"]
+        self._pending = tuple(pending) if pending is not None else None
+        self._interrupt_request = state["interrupt_request"]
+        self.interrupts_taken = state["interrupts_taken"]
+        self._save_sp = state["save_sp"]
+        self.regs._regs[:] = regs["data"]
+        self.regs.spill_batch = regs["spill_batch"]
+        self.regs.cwp = regs["cwp"]
+        self.regs.resident = regs["resident"]
+        self.regs.depth = regs["depth"]
+        self.regs.overflows = regs["overflows"]
+        self.regs.underflows = regs["underflows"]
+        self.regs.calls = regs["calls"]
+        self.regs.returns = regs["returns"]
+        self.psw.unpack(state["psw"])
+        self.stats = ExecutionStats.from_dict(state["stats"])
+        self.memory._bytes[:] = image
+        self.memory.stats.inst_fetches = memory["inst_fetches"]
+        self.memory.stats.data_reads = memory["data_reads"]
+        self.memory.stats.data_writes = memory["data_writes"]
 
     # -- bookkeeping -----------------------------------------------------------
 

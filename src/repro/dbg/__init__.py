@@ -1,0 +1,42 @@
+"""``repro.dbg`` — the time-travel debugger.
+
+Built on two contracts the rest of the codebase already proves: the
+:meth:`~repro.core.api.Machine.snapshot` /
+:meth:`~repro.core.api.Machine.restore` bit-exact state API, and the
+differential bit-identity of the ``fast`` and ``reference`` engines.  A
+:class:`~repro.obs.record.Recording` (program + config + periodic
+checkpoints) makes every step index of a finished run addressable —
+restore the nearest checkpoint, re-execute the remainder — and
+:class:`DebugSession` turns that into forward/reverse stepping, ``seek``,
+breakpoints on PC/symbol/C-line, watchpoints with
+reverse-continue-to-last-write, and the register-window pane.
+
+Front ends: ``python -m repro.dbg run|replay|record|list`` (curses when
+interactive, a deterministic ``--script`` / piped-REPL mode otherwise)
+and ``risc1-run --dbg``.  See ``docs/DEBUGGER.md``.
+"""
+
+from repro.dbg.commands import CommandError, CommandInterpreter, QuitDebugger
+from repro.dbg.session import (
+    Breakpoint,
+    DebugSession,
+    SpecError,
+    StopReason,
+    Watchpoint,
+    parse_breakpoint,
+)
+from repro.dbg.windows import render_regs, render_windows
+
+__all__ = [
+    "Breakpoint",
+    "CommandError",
+    "CommandInterpreter",
+    "DebugSession",
+    "QuitDebugger",
+    "SpecError",
+    "StopReason",
+    "Watchpoint",
+    "parse_breakpoint",
+    "render_regs",
+    "render_windows",
+]

@@ -1,0 +1,256 @@
+"""``python -m repro.dbg`` — record, replay and debug simulated runs.
+
+Subcommands::
+
+    run WORKLOAD[:ARG]     record a workload, then debug it
+    replay RUN_ID|PATH     debug an existing recording (ledger ids work)
+    record WORKLOAD[:ARG]  record and save without entering the debugger
+    list                   recordings under the record root
+
+``--script FILE`` executes debugger commands non-interactively and
+prints a deterministic transcript (the CI smoke job runs one twice and
+byte-compares).  Without a script: a curses UI on a terminal, a plain
+line-oriented REPL when stdin is a pipe.  Exit codes are structured —
+0 success, 1 runtime failure (missing recording, unreadable script),
+2 usage error (unknown workload, malformed breakpoint spec) — and user
+errors never print tracebacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.dbg.commands import CommandError, CommandInterpreter, QuitDebugger
+from repro.dbg.session import DebugSession, SpecError
+from repro.obs.record import (
+    DEFAULT_INTERVAL,
+    Recording,
+    default_record_root,
+    list_recordings,
+    record_run,
+)
+
+__all__ = ["main", "run_commands"]
+
+
+def run_commands(session: DebugSession, lines, out=None, *, echo: bool = True) -> int:
+    """Drive a session with an iterable of command lines; returns exit code.
+
+    Each command is echoed as ``(dbg) <command>`` before its output, so
+    the transcript reads like the interactive session it replays.
+    Command errors are reported inline and execution continues — a typo
+    mid-script must not discard the session.
+    """
+    out = out or sys.stdout
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if echo:
+            print(f"(dbg) {line}", file=out)
+        interp = CommandInterpreter(session)
+        try:
+            for text in interp.execute(line):
+                print(text, file=out)
+        except CommandError as error:
+            print(f"error: {error}", file=out)
+        except QuitDebugger:
+            break
+    return 0
+
+
+def _enter_debugger(session: DebugSession, script: str | None) -> int:
+    if script is not None:
+        try:
+            lines = Path(script).read_text(encoding="utf-8").splitlines()
+        except OSError as error:
+            print(f"error: cannot read script: {error}", file=sys.stderr)
+            return 1
+        return run_commands(session, lines)
+    if sys.stdin.isatty() and sys.stdout.isatty():
+        from repro.dbg.ui import run_ui
+
+        return run_ui(session)
+    # piped stdin: the same command language, line by line
+    return run_commands(session, sys.stdin)
+
+
+def apply_breakpoints(session: DebugSession, specs) -> None:
+    """Install ``--break`` specs; raises :class:`SpecError` on a bad one."""
+    for spec in specs or ():
+        session.add_breakpoint(spec)
+
+
+def _compile_workload(parser, spec: str, machine: str):
+    from repro.cc.driver import compile_program
+    from repro.workloads import ALL_WORKLOADS, parse_workload_spec
+
+    try:
+        name, overrides = parse_workload_spec(spec)
+    except ValueError as error:
+        parser.error(str(error))
+    source = ALL_WORKLOADS[name].source(**overrides)
+    target = "risc1" if machine == "risc1" else "cisc"
+    return name, compile_program(source, target=target).program
+
+
+def _make_machine(args):
+    if args.machine == "risc1":
+        from repro.core.cpu import CPU
+
+        return CPU(num_windows=args.windows)
+    from repro.baselines.vax.cpu import VaxCPU
+
+    return VaxCPU()
+
+
+def _record(args, parser) -> Recording:
+    name, program = _compile_workload(parser, args.workload, args.machine)
+    recording = record_run(
+        _make_machine(args),
+        program,
+        interval=args.interval,
+        max_steps=args.max_steps,
+        engine=args.engine,
+        workload=args.workload,
+    )
+    return recording
+
+
+def _session(recording: Recording, args, parser) -> DebugSession:
+    session = DebugSession(recording, engine=args.engine)
+    try:
+        apply_breakpoints(session, getattr(args, "breakpoints", None))
+    except SpecError as error:
+        parser.error(f"bad breakpoint spec: {error}")
+    return session
+
+
+def _cmd_run(args, parser) -> int:
+    recording = _record(args, parser)
+    if args.save:
+        path = recording.save(root=args.root)
+        print(f"recording saved: {path}", file=sys.stderr)
+    return _enter_debugger(_session(recording, args, parser), args.script)
+
+
+def _cmd_record(args, parser) -> int:
+    recording = _record(args, parser)
+    path = recording.save(root=args.root)
+    print(f"{recording.run_id}  steps={recording.steps}  "
+          f"checkpoints={len(recording.checkpoints)}  "
+          f"outcome={recording.outcome['outcome']}  -> {path}")
+    return 0
+
+
+def _cmd_replay(args, parser) -> int:
+    run_id = args.run_id
+    try:
+        if run_id.endswith(".jsonl") or "/" in run_id:
+            recording = Recording.load(run_id)
+        else:
+            recording = Recording.find(run_id, root=args.root)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return _enter_debugger(_session(recording, args, parser), args.script)
+
+
+def _cmd_list(args, parser) -> int:
+    headers = list_recordings(args.root)
+    if not headers:
+        root = args.root or default_record_root()
+        print(f"no recordings under {root}")
+        return 0
+    for header in headers:
+        workload = header.get("workload") or "-"
+        print(
+            f"{header.get('run_id')}  {header.get('machine'):<5}  "
+            f"{workload:<16}  interval={header.get('interval')}"
+        )
+    return 0
+
+
+def _add_debug_options(sub, *, breaks: bool = True) -> None:
+    sub.add_argument(
+        "--script",
+        metavar="FILE",
+        help="execute debugger commands from FILE and print the transcript",
+    )
+    if breaks:
+        sub.add_argument(
+            "--break",
+            dest="breakpoints",
+            action="append",
+            metavar="SPEC",
+            help="set a breakpoint at start (PC, symbol, or :LINE); repeatable",
+        )
+
+
+def _add_record_options(sub) -> None:
+    sub.add_argument("workload", help="workload spec, NAME[:ARG] (e.g. towers:6)")
+    sub.add_argument(
+        "--machine", choices=("risc1", "cisc"), default="risc1", help="target machine"
+    )
+    sub.add_argument(
+        "--windows", type=int, default=8, help="RISC register windows (default 8)"
+    )
+    sub.add_argument(
+        "--interval",
+        type=int,
+        default=DEFAULT_INTERVAL,
+        metavar="N",
+        help=f"steps between checkpoints (default {DEFAULT_INTERVAL})",
+    )
+    sub.add_argument("--max-steps", type=int, default=None, help="step budget")
+    sub.add_argument(
+        "--engine", choices=("fast", "reference"), default=None, help="execution engine"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dbg",
+        description="time-travel debugger over recorded simulator runs",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="recording directory (default .repro-dbg or $REPRO_DBG_ROOT)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    sub = subs.add_parser("run", help="record a workload, then debug it")
+    _add_record_options(sub)
+    _add_debug_options(sub)
+    sub.add_argument(
+        "--save", action="store_true", help="also save the recording for later replay"
+    )
+    sub.set_defaults(func=_cmd_run)
+
+    sub = subs.add_parser("replay", help="debug an existing recording")
+    sub.add_argument("run_id", help="recording run id (prefix ok) or file path")
+    sub.add_argument(
+        "--engine", choices=("fast", "reference"), default=None, help="execution engine"
+    )
+    _add_debug_options(sub)
+    sub.set_defaults(func=_cmd_replay)
+
+    sub = subs.add_parser("record", help="record a workload without debugging")
+    _add_record_options(sub)
+    sub.set_defaults(func=_cmd_record)
+
+    sub = subs.add_parser("list", help="list saved recordings")
+    sub.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "interval", 1) < 1:
+        parser.error("--interval must be positive")
+    return args.func(args, parser)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,269 @@
+"""The debugger command language.
+
+One :class:`CommandInterpreter` backs every front end — the ``--script``
+batch mode, the plain REPL, and the curses UI all feed lines through
+:meth:`execute` and render the returned text.  Output is strictly
+deterministic (no timestamps, no wall-clock, no ids that vary run to
+run), so two executions of the same script over the same recording are
+byte-identical — the property the CI smoke job ``cmp``'s.
+"""
+
+from __future__ import annotations
+
+from repro.dbg.session import DebugSession, SpecError
+from repro.dbg.windows import render_regs, render_windows
+
+__all__ = ["CommandError", "CommandInterpreter", "QuitDebugger"]
+
+HELP = """\
+commands (aliases in parentheses):
+  help (h)             this text
+  info (i)             recording summary and current position
+  where (w)            current pc, function, source line, instruction
+  step (s) [N]         execute N instructions forward (default 1)
+  rstep (rs) [N]       reverse-step N instructions (default 1)
+  seek STEP|end        jump to an exact step index
+  continue (c)         run forward to breakpoint/watchpoint/end
+  rcontinue (rc)       run backward to the previous hit
+  break (b) SPEC       set breakpoint: PC, symbol, or :LINE
+  watch ADDR[/LEN]     set watchpoint on a memory range
+  lastwrite ADDR[/LEN] reverse to just after the last write
+  breaks               list breakpoints and watchpoints
+  delete N             remove breakpoint/watchpoint #N
+  regs (r)             architectural register dump
+  windows (win)        register-window file, CWP/SWP, trap pressure
+  disasm (d) [ADDR [N]]  disassemble N instructions (default pc, 8)
+  mem ADDR [LEN]       hex dump of memory (default 64 bytes)
+  output               program console output so far
+  quit (q)             leave the debugger"""
+
+
+class CommandError(Exception):
+    """A bad command or argument; the message is shown to the user."""
+
+
+class QuitDebugger(Exception):
+    """Raised by ``quit`` to unwind whatever front end is driving."""
+
+
+def _int_arg(text: str, what: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise CommandError(f"bad {what}: {text!r}") from None
+
+
+class CommandInterpreter:
+    """Parse and execute debugger commands against one session."""
+
+    def __init__(self, session: DebugSession):
+        self.session = session
+
+    def execute(self, line: str) -> list[str]:
+        """Run one command line; returns the output lines."""
+        parts = line.strip().split()
+        if not parts:
+            return []
+        name, args = parts[0].lower(), parts[1:]
+        handler = _DISPATCH.get(name)
+        if handler is None:
+            raise CommandError(f"unknown command {name!r} (try 'help')")
+        return handler(self, args)
+
+    # -- inspection -----------------------------------------------------------
+
+    def _cmd_help(self, args: list[str]) -> list[str]:
+        return HELP.splitlines()
+
+    def _cmd_info(self, args: list[str]) -> list[str]:
+        session = self.session
+        recording = session.recording
+        meta = recording.meta
+        outcome = recording.outcome
+        lines = [
+            f"recording {recording.run_id}",
+            f"  machine {meta['machine']}  engine {meta['engine']}  "
+            f"interval {meta['interval']}  checkpoints {len(recording.checkpoints)}",
+        ]
+        if meta.get("workload"):
+            lines.append(f"  workload {meta['workload']}")
+        end = outcome["outcome"]
+        if end == "halt":
+            end = f"halt (exit code {outcome['result']['exit_code']})"
+        elif end == "trap" and outcome.get("trap"):
+            end = f"trap ({outcome['trap']['kind']})"
+        lines.append(f"  span 0..{recording.steps} steps, ends in {end}")
+        lines.append(f"  at step {session.step_index}, {session.location()}")
+        return lines
+
+    def _cmd_where(self, args: list[str]) -> list[str]:
+        session = self.session
+        lines = [f"step {session.step_index}/{session.steps}  {session.location()}"]
+        if not session.machine.halted:
+            lines.extend(session.disassemble_at(session.pc, 1))
+        else:
+            lines.append("  (halted)")
+        return lines
+
+    def _cmd_regs(self, args: list[str]) -> list[str]:
+        return render_regs(self.session.machine)
+
+    def _cmd_windows(self, args: list[str]) -> list[str]:
+        return render_windows(self.session.machine)
+
+    def _cmd_disasm(self, args: list[str]) -> list[str]:
+        if len(args) > 2:
+            raise CommandError("usage: disasm [ADDR [COUNT]]")
+        address = self.session.pc
+        count = 8
+        if args and args[0] != ".":
+            address = _int_arg(args[0], "address")
+        if len(args) == 2:
+            count = _int_arg(args[1], "count")
+        return self.session.disassemble_at(address, max(1, count))
+
+    def _cmd_mem(self, args: list[str]) -> list[str]:
+        if not args or len(args) > 2:
+            raise CommandError("usage: mem ADDR [LEN]")
+        address = _int_arg(args[0], "address")
+        length = _int_arg(args[1], "length") if len(args) == 2 else 64
+        memory = self.session.machine.memory
+        if address < 0 or address + length > memory.size:
+            raise CommandError(
+                f"range [{address:#x}, {address + length:#x}) outside "
+                f"{memory.size:#x}-byte memory"
+            )
+        data = memory.dump(address, length)
+        lines = []
+        for offset in range(0, len(data), 16):
+            chunk = data[offset : offset + 16]
+            hexed = " ".join(f"{b:02x}" for b in chunk)
+            text = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+            lines.append(f"  {address + offset:#010x}  {hexed:<47}  {text}")
+        return lines
+
+    def _cmd_output(self, args: list[str]) -> list[str]:
+        text = "".join(self.session.machine._console)
+        if not text:
+            return ["  (no output yet)"]
+        return [f"  {line}" for line in text.splitlines()]
+
+    # -- motion ---------------------------------------------------------------
+
+    def _stop(self, reason) -> list[str]:
+        lines = [f"stopped ({reason.describe()})"]
+        lines.extend(self._cmd_where([]))
+        return lines
+
+    def _cmd_step(self, args: list[str]) -> list[str]:
+        count = _int_arg(args[0], "step count") if args else 1
+        if count < 1:
+            raise CommandError("step count must be positive")
+        return self._stop(self.session.step_forward(count))
+
+    def _cmd_rstep(self, args: list[str]) -> list[str]:
+        count = _int_arg(args[0], "step count") if args else 1
+        if count < 1:
+            raise CommandError("step count must be positive")
+        return self._stop(self.session.step_back(count))
+
+    def _cmd_seek(self, args: list[str]) -> list[str]:
+        if len(args) != 1:
+            raise CommandError("usage: seek STEP|end")
+        target = (
+            self.session.steps if args[0] == "end" else _int_arg(args[0], "step index")
+        )
+        landed = self.session.seek(target)
+        lines = [f"at step {landed}"]
+        lines.extend(self._cmd_where([]))
+        return lines
+
+    def _cmd_continue(self, args: list[str]) -> list[str]:
+        return self._stop(self.session.continue_forward())
+
+    def _cmd_rcontinue(self, args: list[str]) -> list[str]:
+        return self._stop(self.session.reverse_continue())
+
+    def _cmd_lastwrite(self, args: list[str]) -> list[str]:
+        if len(args) != 1:
+            raise CommandError("usage: lastwrite ADDR[/LEN]")
+        try:
+            return self._stop(self.session.last_write(args[0]))
+        except SpecError as error:
+            raise CommandError(str(error)) from None
+
+    # -- breakpoints ----------------------------------------------------------
+
+    def _cmd_break(self, args: list[str]) -> list[str]:
+        if len(args) != 1:
+            raise CommandError("usage: break SPEC  (PC, symbol, or :LINE)")
+        try:
+            bp = self.session.add_breakpoint(args[0])
+        except SpecError as error:
+            raise CommandError(str(error)) from None
+        return [f"breakpoint {bp.describe()}"]
+
+    def _cmd_watch(self, args: list[str]) -> list[str]:
+        if len(args) != 1:
+            raise CommandError("usage: watch ADDR[/LEN]")
+        try:
+            wp = self.session.add_watchpoint(args[0])
+        except SpecError as error:
+            raise CommandError(str(error)) from None
+        return [f"watchpoint {wp.describe()}"]
+
+    def _cmd_breaks(self, args: list[str]) -> list[str]:
+        session = self.session
+        if not session.breakpoints and not session.watchpoints:
+            return ["  (none)"]
+        lines = [f"  {bp.describe()}" for bp in session.breakpoints.values()]
+        lines.extend(f"  {wp.describe()}" for wp in session.watchpoints.values())
+        return lines
+
+    def _cmd_delete(self, args: list[str]) -> list[str]:
+        if len(args) != 1:
+            raise CommandError("usage: delete NUMBER")
+        number = _int_arg(args[0], "breakpoint number")
+        if not self.session.delete(number):
+            raise CommandError(f"no breakpoint or watchpoint #{number}")
+        return [f"deleted #{number}"]
+
+    def _cmd_quit(self, args: list[str]) -> list[str]:
+        raise QuitDebugger()
+
+
+_DISPATCH = {
+    "help": CommandInterpreter._cmd_help,
+    "h": CommandInterpreter._cmd_help,
+    "?": CommandInterpreter._cmd_help,
+    "info": CommandInterpreter._cmd_info,
+    "i": CommandInterpreter._cmd_info,
+    "where": CommandInterpreter._cmd_where,
+    "w": CommandInterpreter._cmd_where,
+    "step": CommandInterpreter._cmd_step,
+    "s": CommandInterpreter._cmd_step,
+    "rstep": CommandInterpreter._cmd_rstep,
+    "rs": CommandInterpreter._cmd_rstep,
+    "seek": CommandInterpreter._cmd_seek,
+    "continue": CommandInterpreter._cmd_continue,
+    "c": CommandInterpreter._cmd_continue,
+    "rcontinue": CommandInterpreter._cmd_rcontinue,
+    "rc": CommandInterpreter._cmd_rcontinue,
+    "break": CommandInterpreter._cmd_break,
+    "b": CommandInterpreter._cmd_break,
+    "watch": CommandInterpreter._cmd_watch,
+    "lastwrite": CommandInterpreter._cmd_lastwrite,
+    "breaks": CommandInterpreter._cmd_breaks,
+    "delete": CommandInterpreter._cmd_delete,
+    "regs": CommandInterpreter._cmd_regs,
+    "r": CommandInterpreter._cmd_regs,
+    "windows": CommandInterpreter._cmd_windows,
+    "win": CommandInterpreter._cmd_windows,
+    "disasm": CommandInterpreter._cmd_disasm,
+    "d": CommandInterpreter._cmd_disasm,
+    "mem": CommandInterpreter._cmd_mem,
+    "output": CommandInterpreter._cmd_output,
+    "quit": CommandInterpreter._cmd_quit,
+    "q": CommandInterpreter._cmd_quit,
+    "exit": CommandInterpreter._cmd_quit,
+}

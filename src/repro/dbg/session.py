@@ -1,0 +1,469 @@
+"""The time-travel debug session: seek, step, breakpoints, watchpoints.
+
+A :class:`DebugSession` wraps one :class:`~repro.obs.record.Recording`
+and maintains a live machine positioned at some *step index* — the count
+of retired instructions, ``0`` at entry, ``recording.steps`` at the end
+of the recorded span.  Motion primitives:
+
+* forward: single ``step()`` calls (the reference path, bit-identical to
+  the fast engine by the differential contract), with breakpoint checks
+  before and watchpoint checks during each instruction;
+* backward / ``seek``: restore the nearest checkpoint at or below the
+  target and re-execute forward with chunked fast-engine runs;
+* ``reverse_continue`` / ``last_write``: scan checkpoint regions
+  backward, replaying each region forward on a scratch machine to
+  collect hits, and land on the latest hit before the current position.
+
+Everything is deterministic — the same session driven by the same
+commands produces byte-identical output, which is what makes the
+``--script`` transcripts diffable in CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.api import MachineHalted
+from repro.machine.traps import Trap
+from repro.obs.record import Recording, advance
+from repro.obs.symbols import Symbolizer
+
+__all__ = ["Breakpoint", "DebugSession", "SpecError", "StopReason", "Watchpoint", "parse_breakpoint"]
+
+
+class SpecError(ValueError):
+    """A malformed breakpoint/watchpoint spec (user error, not a bug)."""
+
+
+@dataclasses.dataclass
+class Breakpoint:
+    """One breakpoint: the user's spec and the PC set it resolved to."""
+
+    number: int
+    spec: str
+    kind: str  # "pc" | "symbol" | "line"
+    pcs: frozenset[int]
+
+    def describe(self) -> str:
+        pcs = ", ".join(f"{pc:#x}" for pc in sorted(self.pcs))
+        return f"#{self.number} {self.kind} {self.spec} -> {pcs}"
+
+
+@dataclasses.dataclass
+class Watchpoint:
+    """One watchpoint on a memory address range ``[address, address+length)``."""
+
+    number: int
+    spec: str
+    address: int
+    length: int
+
+    def describe(self) -> str:
+        label = f"#{self.number} " if self.number else ""
+        return (
+            f"{label}watch {self.spec} -> "
+            f"[{self.address:#x}, {self.address + self.length:#x})"
+        )
+
+    def overlaps(self, address: int, width: int) -> bool:
+        return address < self.address + self.length and self.address < address + width
+
+
+@dataclasses.dataclass
+class StopReason:
+    """Why a motion command stopped: kind + human detail."""
+
+    kind: str  # "step" | "breakpoint" | "watchpoint" | "halt" | "trap" | "end" | "begin"
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.detail}" if self.detail else self.kind
+
+
+def _parse_int(text: str) -> int | None:
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def parse_breakpoint(
+    spec: str, program, symbolizer: Symbolizer, machine: str = "risc1"
+) -> tuple[str, frozenset[int]]:
+    """Resolve a breakpoint spec to ``(kind, pcs)``.
+
+    Accepted forms: a PC (``0x2048`` or decimal), a symbol/function name
+    (``tower`` — breaks at its entry), or a C source line (``:12`` or
+    ``line:12`` — breaks at the first instruction of every run of that
+    line).  Raises :class:`SpecError` with an actionable message.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise SpecError("empty breakpoint spec")
+    line_text = None
+    if spec.startswith(":"):
+        line_text = spec[1:]
+    elif spec.lower().startswith("line:"):
+        line_text = spec[5:]
+    if line_text is not None:
+        line = _parse_int(line_text)
+        if line is None or line < 1:
+            raise SpecError(f"bad source line in breakpoint spec {spec!r}")
+        pcs = set()
+        previous = None
+        for address in sorted(program.line_table):
+            entry = program.line_table[address]
+            if entry[1] == line and previous != line:
+                pcs.add(address)
+            previous = entry[1]
+        if not pcs:
+            raise SpecError(f"no code at source line {line}")
+        return "line", frozenset(pcs)
+    value = _parse_int(spec)
+    if value is not None:
+        return "pc", frozenset([value])
+    # prefer the line table's first-instruction address: on the VAX-like
+    # baseline a CALLS lands *past* the 2-byte entry mask, so the raw
+    # symbol address is never an executed pc
+    address = None
+    for start, name in symbolizer._func_starts.items():
+        if name == spec:
+            address = start
+            break
+    if address is None:
+        address = program.symbols.get(spec)
+    if address is None:
+        known = ", ".join(sorted(symbolizer.functions())) or "none"
+        raise SpecError(f"unknown symbol {spec!r} (functions: {known})")
+    pcs = {address}
+    if machine == "cisc":
+        # CALLS transfers to entry+2, past the 2-byte register-save mask
+        pcs.add(address + 2)
+    return "symbol", frozenset(pcs)
+
+
+def parse_watch(spec: str, program) -> tuple[int, int]:
+    """Resolve a watch spec ``ADDR[/LEN]`` or ``symbol[/LEN]`` to a range."""
+    spec = spec.strip()
+    if not spec:
+        raise SpecError("empty watch spec")
+    addr_text, _, len_text = spec.partition("/")
+    length = 4
+    if len_text:
+        parsed = _parse_int(len_text)
+        if parsed is None or parsed < 1:
+            raise SpecError(f"bad length in watch spec {spec!r}")
+        length = parsed
+    address = _parse_int(addr_text)
+    if address is None:
+        address = program.symbols.get(addr_text)
+    if address is None:
+        raise SpecError(f"bad address or unknown symbol in watch spec {spec!r}")
+    return address, length
+
+
+class DebugSession:
+    """Time-travel debugging over one recording."""
+
+    def __init__(self, recording: Recording, *, engine: str | None = None):
+        self.recording = recording
+        self.engine = engine
+        self.program = recording.program
+        self.symbolizer = Symbolizer(recording.program)
+        self.machine = recording.spawn(0, engine=engine)
+        self.breakpoints: dict[int, Breakpoint] = {}
+        self.watchpoints: dict[int, Watchpoint] = {}
+        self._next_number = 1
+
+    # -- position -------------------------------------------------------------
+
+    @property
+    def step_index(self) -> int:
+        return self.machine.stats.instructions
+
+    @property
+    def steps(self) -> int:
+        return self.recording.steps
+
+    @property
+    def at_end(self) -> bool:
+        return self.step_index >= self.steps
+
+    @property
+    def pc(self) -> int:
+        return self.machine.pc
+
+    # -- breakpoints / watchpoints --------------------------------------------
+
+    def add_breakpoint(self, spec: str) -> Breakpoint:
+        kind, pcs = parse_breakpoint(
+            spec, self.program, self.symbolizer, self.machine.name
+        )
+        bp = Breakpoint(self._next_number, spec, kind, pcs)
+        self._next_number += 1
+        self.breakpoints[bp.number] = bp
+        return bp
+
+    def add_watchpoint(self, spec: str) -> Watchpoint:
+        address, length = parse_watch(spec, self.program)
+        wp = Watchpoint(self._next_number, spec, address, length)
+        self._next_number += 1
+        self.watchpoints[wp.number] = wp
+        return wp
+
+    def delete(self, number: int) -> bool:
+        return (
+            self.breakpoints.pop(number, None) is not None
+            or self.watchpoints.pop(number, None) is not None
+        )
+
+    def _breakpoint_at(self, pc: int) -> Breakpoint | None:
+        for bp in self.breakpoints.values():
+            if pc in bp.pcs:
+                return bp
+        return None
+
+    # -- motion ---------------------------------------------------------------
+
+    def _step_watched(self, machine, watchpoints) -> list[tuple[Watchpoint, int, int]]:
+        """One ``step()`` with watchpoints armed; returns the writes hit.
+
+        The machine's existing ``write_watch`` (the VAX chains its code
+        cache invalidation there) is preserved by wrapping, and always
+        reinstalled.  :class:`MachineHalted` is swallowed — the halting
+        instruction retires and ``halted`` flips, matching ``run()``.
+        """
+        hits: list[tuple[Watchpoint, int, int]] = []
+        previous = machine.memory.write_watch
+
+        def watch(address: int, width: int = 4) -> None:
+            if previous is not None:
+                previous(address, width)
+            for wp in watchpoints:
+                if wp.overlaps(address, width):
+                    hits.append((wp, address, width))
+
+        machine.memory.write_watch = watch if watchpoints else previous
+        try:
+            machine.step()
+        except MachineHalted:
+            pass
+        finally:
+            machine.memory.write_watch = previous
+        return hits
+
+    def step_forward(self, count: int = 1) -> StopReason:
+        """Retire up to ``count`` instructions; stop early on any event."""
+        watchpoints = list(self.watchpoints.values())
+        for i in range(count):
+            if self.at_end or self.machine.halted:
+                return self._end_reason()
+            if i > 0:
+                bp = self._breakpoint_at(self.machine.pc)
+                if bp is not None:
+                    return StopReason("breakpoint", bp.describe())
+            try:
+                hits = self._step_watched(self.machine, watchpoints)
+            except Trap as trap:
+                return StopReason("trap", str(trap))
+            if hits:
+                wp, address, width = hits[-1]
+                value = self._peek(address, width)
+                return StopReason(
+                    "watchpoint",
+                    f"{wp.describe()} wrote {value} at step {self.step_index - 1}",
+                )
+        if self.machine.halted:
+            return self._end_reason()
+        return StopReason("step", f"now at step {self.step_index}")
+
+    def step_back(self, count: int = 1) -> StopReason:
+        """Reverse single-step: land ``count`` steps earlier."""
+        target = max(0, self.step_index - count)
+        self.seek(target)
+        if target == 0:
+            return StopReason("begin", "at step 0 (entry)")
+        return StopReason("step", f"now at step {self.step_index}")
+
+    def seek(self, step: int) -> int:
+        """Position the session at an exact step index (clamped to range)."""
+        step = max(0, min(step, self.steps))
+        if step < self.step_index:
+            machine = self.recording.make_machine()
+            machine.restore(self.recording.nearest(step)["state"])
+            self.machine = machine
+        advance(self.machine, step, engine=self.engine)
+        return self.step_index
+
+    def continue_forward(self) -> StopReason:
+        """Run until a breakpoint, watchpoint, trap, halt or recorded end."""
+        watchpoints = list(self.watchpoints.values())
+        first = True
+        while not (self.at_end or self.machine.halted):
+            if not first:
+                bp = self._breakpoint_at(self.machine.pc)
+                if bp is not None:
+                    return StopReason("breakpoint", bp.describe())
+            first = False
+            try:
+                hits = self._step_watched(self.machine, watchpoints)
+            except Trap as trap:
+                return StopReason("trap", str(trap))
+            if hits:
+                wp, address, width = hits[-1]
+                value = self._peek(address, width)
+                return StopReason(
+                    "watchpoint",
+                    f"{wp.describe()} wrote {value} at step {self.step_index - 1}",
+                )
+        return self._end_reason()
+
+    def reverse_continue(self) -> StopReason:
+        """Run *backward* to the most recent breakpoint/watchpoint hit."""
+        hit = self._latest_hit_before(
+            self.step_index,
+            pcs=frozenset().union(*(bp.pcs for bp in self.breakpoints.values()))
+            if self.breakpoints
+            else frozenset(),
+            watchpoints=list(self.watchpoints.values()),
+        )
+        if hit is None:
+            self.seek(0)
+            return StopReason("begin", "no earlier hit; at step 0 (entry)")
+        step, kind, detail = hit
+        self.seek(step)
+        return StopReason(kind, detail)
+
+    def last_write(self, spec: str) -> StopReason:
+        """Reverse-continue to just after the last write to an address."""
+        address, length = parse_watch(spec, self.program)
+        probe = Watchpoint(0, spec, address, length)
+        hit = self._latest_hit_before(
+            self.step_index, pcs=frozenset(), watchpoints=[probe]
+        )
+        if hit is None:
+            return StopReason(
+                "begin", f"no write to {spec} before step {self.step_index}"
+            )
+        step, _kind, detail = hit
+        self.seek(step)
+        return StopReason("watchpoint", detail)
+
+    def _latest_hit_before(
+        self, before: int, *, pcs: frozenset[int], watchpoints
+    ) -> tuple[int, str, str] | None:
+        """Scan backward for the last event strictly before state ``before``.
+
+        Breakpoint hits are reported *at* the matching state (about to
+        execute the breakpointed instruction); watchpoint hits land just
+        *after* the writing instruction, so the written value is visible.
+        Regions between checkpoints are replayed forward on a scratch
+        machine, newest region first.
+        """
+        if not pcs and not watchpoints:
+            return None
+        boundaries = [cp["step"] for cp in self.recording.checkpoints]
+        regions = []
+        for index, low in enumerate(boundaries):
+            high = boundaries[index + 1] if index + 1 < len(boundaries) else before
+            if low < before:
+                regions.append((low, min(high, before)))
+        for low, high in reversed(regions):
+            hits = self._scan_region(low, high, before, pcs, watchpoints)
+            if hits:
+                return hits[-1]
+        return None
+
+    def _scan_region(self, low, high, before, pcs, watchpoints):
+        machine = self.recording.spawn(low, engine=self.engine)
+        hits: list[tuple[int, str, str]] = []
+        while machine.stats.instructions < high and not machine.halted:
+            state = machine.stats.instructions
+            if pcs and state < before and machine.pc in pcs:
+                bp = self._breakpoint_at(machine.pc)
+                detail = bp.describe() if bp else f"pc {machine.pc:#x}"
+                hits.append((state, "breakpoint", detail))
+            pc = machine.pc
+            try:
+                wh = self._step_watched(machine, watchpoints)
+            except Trap:
+                break
+            if wh and state + 1 < before:
+                wp, address, width = wh[-1]
+                value = int.from_bytes(
+                    machine.memory.dump(address, width), "big"
+                )
+                hits.append(
+                    (
+                        state + 1,
+                        "watchpoint",
+                        f"{wp.describe()} written by pc {pc:#x} "
+                        f"at step {state} (value now {value})",
+                    )
+                )
+        return hits
+
+    # -- inspection -----------------------------------------------------------
+
+    def _peek(self, address: int, width: int) -> int:
+        try:
+            return int.from_bytes(self.machine.memory.dump(address, width), "big")
+        except Exception:
+            return 0
+
+    def _end_reason(self) -> StopReason:
+        outcome = self.recording.outcome
+        if self.machine.halted and outcome["outcome"] == "halt":
+            code = outcome["result"]["exit_code"]
+            return StopReason("halt", f"exit code {code} at step {self.step_index}")
+        if outcome["outcome"] == "trap" and self.at_end:
+            trap = outcome["trap"] or {}
+            where = f" at pc {trap['pc']:#x}" if trap.get("pc") is not None else ""
+            return StopReason(
+                "trap",
+                f"recorded trap {trap.get('kind')} ({trap.get('detail')}){where}",
+            )
+        if outcome["outcome"] == "limit" and self.at_end:
+            return StopReason("end", f"recorded step limit at step {self.step_index}")
+        return StopReason("end", f"end of recorded span (step {self.step_index})")
+
+    def location(self) -> str:
+        """``pc 0x2048 in towers (line 12)`` for the current position."""
+        function, line = self.symbolizer.location_at(self.pc)
+        where = f"pc {self.pc:#010x} in {function}"
+        if line:
+            where += f" (line {line})"
+        return where
+
+    def disassemble_at(self, address: int, count: int = 1) -> list[str]:
+        """``count`` instructions starting at ``address``, either ISA."""
+        lines = []
+        if self.machine.name == "risc1":
+            from repro.asm.disasm import disassemble
+
+            for index in range(count):
+                pc = address + 4 * index
+                try:
+                    # dump() is the unaccounted path: inspection must not
+                    # perturb the traffic counters replay depends on
+                    word = int.from_bytes(self.machine.memory.dump(pc, 4), "big")
+                except Exception:
+                    lines.append(f"  {pc:#010x}  <unmapped>")
+                    break
+                lines.append(f"  {pc:#010x}  {disassemble(word, pc=pc)}")
+        else:
+            from repro.baselines.vax.disasm import disassemble_one
+
+            data = bytes(self.machine.memory._bytes)
+            pc = address
+            for _ in range(count):
+                if pc >= len(data):
+                    break
+                try:
+                    text, length = disassemble_one(data, pc, pc)
+                except Exception:
+                    lines.append(f"  {pc:#010x}  <undecodable>")
+                    break
+                lines.append(f"  {pc:#010x}  {text}")
+                pc += length
+        return lines

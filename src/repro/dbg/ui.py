@@ -1,0 +1,119 @@
+"""The curses front end of the time-travel debugger.
+
+A thin painting loop over the same :class:`CommandInterpreter` the
+scripted mode uses: single keys map to debugger commands, ``:`` opens a
+command line accepting the full language, and the screen shows position,
+the register-window pane, disassembly around the PC, and the scrollback
+of command output.  All rendering is done by the pure functions in
+:mod:`repro.dbg.windows` / the interpreter, so the curses layer stays
+dumb and the interesting output stays testable.
+"""
+
+from __future__ import annotations
+
+from repro.dbg.commands import CommandError, CommandInterpreter, QuitDebugger
+
+__all__ = ["run_ui"]
+
+_KEY_COMMANDS = {
+    ord("s"): "step",
+    ord("r"): "rstep",
+    ord("c"): "continue",
+    ord("C"): "rcontinue",
+    ord("w"): "windows",
+    ord("o"): "output",
+    ord("i"): "info",
+}
+
+_FOOTER = "s step  r rstep  c cont  C rcont  g seek  b break  w windows  : cmd  q quit"
+
+
+def run_ui(session) -> int:
+    """Run the interactive curses debugger; returns a process exit code."""
+    import curses
+
+    interp = CommandInterpreter(session)
+    scrollback: list[str] = interp.execute("info") + [""]
+
+    def prompt(stdscr, label: str) -> str:
+        height, width = stdscr.getmaxyx()
+        stdscr.addnstr(height - 1, 0, (label + " " * width)[: width - 1], width - 1)
+        stdscr.refresh()
+        curses.echo()
+        try:
+            text = stdscr.getstr(height - 1, len(label) + 1, 120).decode(
+                "utf-8", "replace"
+            )
+        finally:
+            curses.noecho()
+        return text.strip()
+
+    def run_command(line: str) -> None:
+        if not line:
+            return
+        scrollback.append(f"(dbg) {line}")
+        try:
+            scrollback.extend(interp.execute(line))
+        except CommandError as error:
+            scrollback.append(f"error: {error}")
+
+    def paint(stdscr) -> None:
+        stdscr.erase()
+        height, width = stdscr.getmaxyx()
+
+        def put(row: int, text: str, attr: int = 0) -> None:
+            if 0 <= row < height - 1:
+                stdscr.addnstr(row, 0, text[: width - 1], width - 1, attr)
+
+        recording = session.recording
+        put(
+            0,
+            f" repro.dbg  {recording.run_id}  step {session.step_index}/{session.steps}"
+            f"  {session.location()}",
+            curses.A_REVERSE,
+        )
+        row = 2
+        from repro.dbg.windows import render_windows
+
+        for line in render_windows(session.machine):
+            put(row, line)
+            row += 1
+        row += 1
+        put(row, "disassembly:", curses.A_BOLD)
+        row += 1
+        for line in session.disassemble_at(session.pc, 6):
+            put(row, line)
+            row += 1
+        row += 1
+        put(row, "log:", curses.A_BOLD)
+        row += 1
+        visible = max(0, height - 2 - row)
+        for line in scrollback[-visible:]:
+            put(row, line)
+            row += 1
+        put(height - 2, _FOOTER, curses.A_DIM)
+        stdscr.refresh()
+
+    def loop(stdscr) -> None:
+        curses.curs_set(0)
+        while True:
+            paint(stdscr)
+            key = stdscr.getch()
+            if key in (ord("q"), 27):
+                return
+            if key == ord("g"):
+                run_command(f"seek {prompt(stdscr, 'seek to step:')}")
+            elif key == ord("b"):
+                run_command(f"break {prompt(stdscr, 'breakpoint (pc, symbol, :line):')}")
+            elif key == ord(":"):
+                try:
+                    run_command(prompt(stdscr, ":"))
+                except QuitDebugger:
+                    return
+            elif key in _KEY_COMMANDS:
+                run_command(_KEY_COMMANDS[key])
+
+    import curses as _curses
+
+    _curses.wrapper(loop)
+    return 0

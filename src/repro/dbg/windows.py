@@ -1,0 +1,111 @@
+"""Register and register-window rendering for the debugger.
+
+Pure text: every function returns a list of lines, so the same renderers
+back the curses panes, the ``--script`` transcripts and the tests.  The
+centerpiece is :func:`render_windows` — the overlapping window file as
+the paper draws it: which windows are resident, where CWP and SWP point,
+and how close the file is to its next overflow or underflow trap.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    GLOBAL_REGS,
+    HIGH_REGS,
+    LOCAL_REGS,
+    LOW_REGS,
+    physical_index,
+)
+
+__all__ = ["render_regs", "render_windows"]
+
+
+def _row(label: str, machine, regs) -> str:
+    values = " ".join(f"{machine.regs.read(r):08x}" for r in regs)
+    return f"  {label:<18}{values}"
+
+
+def render_regs(machine) -> list[str]:
+    """The visible architectural registers, one dump for either machine."""
+    if machine.name == "risc1":
+        lines = [
+            _row("GLOBAL r0-r4", machine, range(0, 5)),
+            _row("GLOBAL r5-r9", machine, range(5, 10)),
+            _row("LOW    r10-r15", machine, LOW_REGS),
+            _row("LOCAL  r16-r20", machine, range(16, 21)),
+            _row("LOCAL  r21-r25", machine, range(21, 26)),
+            _row("HIGH   r26-r31", machine, HIGH_REGS),
+        ]
+        psw = machine.psw
+        lines.append(
+            f"  psw  Z={int(psw.cc.z)} N={int(psw.cc.n)} C={int(psw.cc.c)} "
+            f"V={int(psw.cc.v)} ie={int(psw.interrupts_enabled)}"
+        )
+        return lines
+    # the VAX-like baseline: a flat 16-register file
+    lines = []
+    for base in range(0, 16, 4):
+        cells = "  ".join(
+            f"r{reg:<2}={machine.regs[reg]:08x}" for reg in range(base, base + 4)
+        )
+        lines.append(f"  {cells}")
+    lines.append(
+        f"  flags  N={int(machine.n)} Z={int(machine.z)} "
+        f"V={int(machine.v)} C={int(machine.c)}"
+    )
+    return lines
+
+
+def render_windows(machine) -> list[str]:
+    """The overlapping register-window file, CWP/SWP and trap pressure.
+
+    For the VAX-like baseline (no windows) this degrades to a note plus
+    the flat register dump, so ``windows`` is never an error.
+    """
+    if machine.name != "risc1":
+        return [f"  machine {machine.name!r} has no register windows"] + render_regs(
+            machine
+        )
+    regs = machine.regs
+    w = regs.num_windows
+    cwp = regs.cwp
+    resident = regs.resident
+    # the window the next overflow would spill (oldest resident frame)
+    swp = (cwp - (resident - 1)) % w
+    lines = [
+        f"  windows W={w}  CWP=w{cwp}  SWP=w{swp}  "
+        f"resident={resident}/{regs.max_resident}  depth={regs.depth}",
+        f"  pressure [{'#' * resident}{'.' * (regs.max_resident - resident)}]  "
+        f"overflows={regs.overflows}  underflows={regs.underflows}  "
+        f"calls={regs.calls}  returns={regs.returns}",
+    ]
+    resident_set = {(cwp - i) % w for i in range(resident)}
+    for window in range(w):
+        if window == cwp:
+            marker, state = "->", "current"
+        elif window in resident_set:
+            marker, state = "  ", "resident"
+        else:
+            marker, state = "  ", "free"
+        if window == swp and resident == regs.max_resident:
+            state += ", next spill"
+        base = 10 + 16 * window
+        locals_ = " ".join(
+            f"{regs.read_physical(physical_index(window, r, w)):08x}"
+            for r in range(16, 20)
+        )
+        lines.append(
+            f"  {marker} w{window} [phys {base:>3}-{base + 15:>3}] "
+            f"{state:<20} local16-19: {locals_}"
+        )
+    lines.append("  current window (caller LOW == callee HIGH):")
+    lines.append(_row("GLOBAL r0-r9", machine, GLOBAL_REGS))
+    lines.append(
+        _row(f"HIGH   r26-r31", machine, HIGH_REGS)
+        + f"   (= w{(cwp - 1) % w} LOW)"
+    )
+    lines.append(_row("LOCAL  r16-r25", machine, LOCAL_REGS))
+    lines.append(
+        _row("LOW    r10-r15", machine, LOW_REGS) + f"   (= w{(cwp + 1) % w} HIGH)"
+    )
+    return lines

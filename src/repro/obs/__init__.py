@@ -62,6 +62,13 @@ from repro.obs.profile import (
     render_flame_svg,
 )
 from repro.obs.profiling import span
+from repro.obs.record import (
+    DEFAULT_INTERVAL,
+    Recording,
+    advance,
+    list_recordings,
+    record_run,
+)
 from repro.obs.symbols import Symbolizer
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -70,6 +77,7 @@ __all__ = [
     "ConsoleSnapshot",
     "Counter",
     "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_INTERVAL",
     "Event",
     "EventKind",
     "FLOW_KINDS",
@@ -84,13 +92,17 @@ __all__ = [
     "Profile",
     "ProfileBuilder",
     "ProfilingTracer",
+    "Recording",
     "SIM_KINDS",
     "Symbolizer",
     "Tracer",
+    "advance",
     "diff_records",
     "find_regressions",
     "ledger_context",
+    "list_recordings",
     "profile_events",
+    "record_run",
     "profile_run",
     "read_jsonl",
     "record_machine_run",

@@ -1,0 +1,537 @@
+"""Tests for the time-travel debugger: recording, seek exactness, the
+debug session, the command language, and the CLI's structured errors.
+
+The load-bearing property is *exact time travel*: for a recorded run,
+``seek(k)`` followed by step-to-end must reproduce the architectural
+state and ``RunResult`` of the unrecorded straight-line run bit-for-bit,
+for arbitrary ``k``, on both machines.  Everything else (breakpoints,
+reverse execution, watchpoints, transcripts) is built on that property.
+"""
+
+import functools
+import io
+import json
+
+import pytest
+
+from repro.baselines.vax.cpu import VaxCPU
+from repro.cc.driver import compile_program
+from repro.core.cpu import CPU
+from repro.dbg.cli import main as dbg_main
+from repro.dbg.cli import run_commands
+from repro.dbg.commands import CommandError, CommandInterpreter
+from repro.dbg.session import DebugSession, SpecError, parse_breakpoint
+from repro.dbg.windows import render_regs, render_windows
+from repro.obs.record import Recording, advance, record_run
+from repro.obs.symbols import Symbolizer
+from repro.workloads import ALL_WORKLOADS
+
+#: small scales keep each recorded run in the hundreds-to-thousands of
+#: steps, so the full matrix stays cheap
+SCALES = {
+    "towers": {"DISKS": 5},
+    "qsort": {"N": 40},
+    "ackermann": {"M": 2, "N": 3},
+}
+MACHINES = {"risc1": CPU, "cisc": VaxCPU}
+
+
+@functools.lru_cache(maxsize=None)
+def small_program(name, target):
+    source = ALL_WORKLOADS[name].source(**SCALES[name])
+    return compile_program(source, target=target).program
+
+
+@functools.lru_cache(maxsize=None)
+def small_recording(name, target, interval=100):
+    machine = MACHINES[target]()
+    return record_run(
+        machine, small_program(name, target), interval=interval, workload=name
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def straight_line(name, target):
+    machine = MACHINES[target]()
+    machine.load(small_program(name, target))
+    result = machine.run(record=False)
+    return result, machine.snapshot()
+
+
+def fresh_session(name="towers", target="risc1", **kwargs):
+    return DebugSession(small_recording(name, target, **kwargs))
+
+
+# -- recording and time-travel exactness --------------------------------------
+
+
+class TestRecording:
+    @pytest.mark.parametrize("target", sorted(MACHINES))
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_recorded_result_matches_straight_line(self, name, target):
+        recording = small_recording(name, target)
+        result, _ = straight_line(name, target)
+        assert recording.outcome["outcome"] == "halt"
+        assert recording.result.to_dict() == result.to_dict()
+
+    @pytest.mark.parametrize("target", sorted(MACHINES))
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_seek_then_run_to_end_is_exact(self, name, target):
+        """The acceptance criterion: arbitrary k, both machines, 3 workloads."""
+        recording = small_recording(name, target)
+        result, final_snap = straight_line(name, target)
+        steps = recording.steps
+        interval = recording.meta["interval"]
+        ks = sorted(
+            {0, 1, 7, interval - 1, interval, interval + 1, steps // 2, steps - 1}
+        )
+        for k in ks:
+            machine = recording.spawn(k)
+            assert machine.stats.instructions == k
+            replayed = machine.run(record=False)
+            assert replayed.to_dict() == result.to_dict(), f"seek({k}) diverged"
+            assert machine.snapshot() == final_snap, f"seek({k}) final state diverged"
+
+    @pytest.mark.parametrize("target", sorted(MACHINES))
+    def test_resume_from_every_checkpoint(self, target):
+        """Property: each stored checkpoint replays to the identical result."""
+        recording = small_recording("towers", target)
+        result, final_snap = straight_line("towers", target)
+        assert len(recording.checkpoints) > 2
+        for checkpoint in recording.checkpoints:
+            machine = recording.make_machine()
+            machine.restore(checkpoint["state"])
+            assert machine.stats.instructions == checkpoint["step"]
+            replayed = machine.run(record=False)
+            assert replayed.to_dict() == result.to_dict()
+            assert machine.snapshot() == final_snap
+
+    def test_seek_to_end_lands_on_halted_final_state(self):
+        recording = small_recording("towers", "risc1")
+        _, final_snap = straight_line("towers", "risc1")
+        machine = recording.spawn(recording.steps)
+        assert machine.halted
+        assert machine.snapshot() == final_snap
+
+    def test_checkpoints_at_interval_multiples(self):
+        recording = small_recording("towers", "risc1")
+        steps = [cp["step"] for cp in recording.checkpoints]
+        assert steps[0] == 0
+        assert steps == sorted(steps)
+        assert all(step % 100 == 0 for step in steps)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        recording = small_recording("towers", "risc1")
+        path = recording.save(root=tmp_path)
+        loaded = Recording.load(path)
+        assert loaded.meta == recording.meta
+        assert loaded.checkpoints == recording.checkpoints
+        assert loaded.outcome == recording.outcome
+        assert loaded.program == recording.program
+        result, _ = straight_line("towers", "risc1")
+        replayed = loaded.spawn(137).run(record=False)
+        assert replayed.to_dict() == result.to_dict()
+
+    def test_find_by_prefix_and_ambiguity(self, tmp_path):
+        recording = small_recording("towers", "risc1")
+        recording.save(root=tmp_path)
+        found = Recording.find(recording.run_id[:6], root=tmp_path)
+        assert found.run_id == recording.run_id
+        with pytest.raises(FileNotFoundError):
+            Recording.find("nope", root=tmp_path)
+
+    def test_recording_file_is_json_lines(self, tmp_path):
+        path = small_recording("towers", "risc1").save(root=tmp_path)
+        kinds = [json.loads(line)["kind"] for line in path.read_text().splitlines()]
+        assert kinds[0] == "header"
+        assert kinds[1] == "program"
+        assert kinds[-1] == "outcome"
+        assert kinds.count("checkpoint") == len(
+            small_recording("towers", "risc1").checkpoints
+        )
+
+    def test_step_limit_outcome_is_recorded_not_raised(self):
+        machine = CPU()
+        recording = record_run(
+            machine, small_program("towers", "risc1"), interval=100, max_steps=250
+        )
+        assert recording.outcome["outcome"] == "limit"
+        assert recording.steps == 250
+        # the recorded span is still fully seekable
+        assert recording.spawn(250).stats.instructions == 250
+
+    def test_advance_refuses_backwards(self):
+        recording = small_recording("towers", "risc1")
+        machine = recording.spawn(50)
+        with pytest.raises(ValueError):
+            advance(machine, 10)
+
+    def test_recording_off_leaves_no_ledger_record(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        recording = small_recording("towers", "risc1")
+        assert recording.run_id.startswith("dbg-")
+
+
+# -- the debug session --------------------------------------------------------
+
+
+class TestDebugSession:
+    def test_forward_and_reverse_step(self):
+        session = fresh_session()
+        session.step_forward(10)
+        assert session.step_index == 10
+        pc_at_10 = session.pc
+        session.step_back(3)
+        assert session.step_index == 7
+        session.step_forward(3)
+        assert session.step_index == 10
+        assert session.pc == pc_at_10
+
+    def test_seek_is_exact_and_clamped(self):
+        session = fresh_session()
+        assert session.seek(205) == 205
+        assert session.seek(12) == 12
+        assert session.seek(-5) == 0
+        assert session.seek(10**9) == session.steps
+
+    def test_breakpoint_stops_and_resumes(self):
+        session = fresh_session()
+        bp = session.add_breakpoint("hanoi")
+        reason = session.continue_forward()
+        assert reason.kind == "breakpoint"
+        assert session.pc in bp.pcs
+        first_hit = session.step_index
+        reason = session.continue_forward()
+        assert reason.kind == "breakpoint"
+        assert session.step_index > first_hit
+
+    def test_reverse_continue_finds_previous_hit(self):
+        session = fresh_session()
+        session.add_breakpoint("hanoi")
+        session.continue_forward()
+        first = session.step_index
+        session.continue_forward()
+        second = session.step_index
+        reason = session.reverse_continue()
+        assert reason.kind == "breakpoint"
+        assert session.step_index == first < second
+        reason = session.reverse_continue()
+        assert reason.kind == "begin"
+        assert session.step_index == 0
+
+    def test_reverse_continue_across_checkpoint_boundary(self):
+        session = fresh_session(interval=50)
+        session.add_breakpoint("hanoi")
+        hits = []
+        while True:
+            reason = session.continue_forward()
+            if reason.kind != "breakpoint":
+                break
+            hits.append(session.step_index)
+        assert hits[-1] > 50  # hits on both sides of a checkpoint
+        # the final continue ended past the last hit, so reverse-continue
+        # walks the whole hit sequence backward, exactly
+        for expected in reversed(hits):
+            reason = session.reverse_continue()
+            assert (reason.kind, session.step_index) == ("breakpoint", expected)
+        assert session.reverse_continue().kind == "begin"
+
+    def test_watchpoint_fires_on_spill_store(self):
+        # towers at 8 windows overflows once; the spill writes the
+        # register-save stack at the top of memory
+        session = fresh_session()
+        top = session.machine.memory.size
+        session.add_watchpoint(f"{top - 64:#x}/64")
+        reason = session.continue_forward()
+        assert reason.kind == "watchpoint"
+        stop = session.step_index
+        assert 0 < stop < session.steps
+
+    def test_last_write_lands_after_the_write(self):
+        session = fresh_session()
+        top = session.machine.memory.size
+        spec = f"{top - 64:#x}/64"
+        session.add_watchpoint(spec)
+        session.continue_forward()
+        hit = session.step_index
+        session.seek(session.steps)
+        reason = session.last_write(spec)
+        assert reason.kind == "watchpoint"
+        assert session.step_index >= hit
+
+    def test_last_write_no_hit_reports_begin(self):
+        session = fresh_session()
+        session.seek(20)
+        reason = session.last_write("0x9000/4")
+        assert reason.kind == "begin"
+        assert session.step_index == 20  # position unchanged
+
+    def test_halt_reason_at_end(self):
+        session = fresh_session()
+        session.seek(session.steps - 1)
+        reason = session.step_forward(5)
+        assert reason.kind == "halt"
+        assert session.machine.halted
+
+    def test_bad_specs_raise_spec_error(self):
+        session = fresh_session()
+        for spec in ("", "nosuchsym", ":99999", "line:zero"):
+            with pytest.raises(SpecError):
+                session.add_breakpoint(spec)
+        with pytest.raises(SpecError):
+            session.add_watchpoint("what/nope")
+
+    def test_symbol_breakpoint_on_cisc_lands_past_entry_mask(self):
+        session = fresh_session("qsort", "cisc")
+        session.add_breakpoint("main")
+        reason = session.continue_forward()
+        assert reason.kind == "breakpoint"
+        assert session.symbolizer.function_at(session.pc) == "main"
+
+    def test_parse_breakpoint_pc_and_line(self):
+        program = small_program("towers", "risc1")
+        symbolizer = Symbolizer(program)
+        kind, pcs = parse_breakpoint("0x1014", program, symbolizer)
+        assert (kind, pcs) == ("pc", frozenset([0x1014]))
+        kind, pcs = parse_breakpoint(":8", program, symbolizer)
+        assert kind == "line" and pcs
+
+    def test_delete_breakpoint(self):
+        session = fresh_session()
+        bp = session.add_breakpoint("hanoi")
+        assert session.delete(bp.number)
+        assert not session.delete(bp.number)
+        assert session.continue_forward().kind == "halt"
+
+    def test_session_does_not_perturb_replay(self):
+        """Inspection + motion must leave time travel exact."""
+        session = fresh_session()
+        session.step_forward(25)
+        session.disassemble_at(session.pc, 4)
+        render_windows(session.machine)
+        session.seek(300)
+        session.step_back(7)
+        result, final_snap = straight_line("towers", "risc1")
+        session.seek(session.steps)
+        assert session.machine.snapshot() == final_snap
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+class TestRendering:
+    def test_windows_pane_tracks_cwp_and_residency(self):
+        session = fresh_session()
+        session.add_breakpoint("hanoi")
+        session.continue_forward()
+        session.continue_forward()
+        text = "\n".join(render_windows(session.machine))
+        regs = session.machine.regs
+        assert f"CWP=w{regs.cwp}" in text
+        assert f"resident={regs.resident}/{regs.max_resident}" in text
+        assert "-> w" in text
+        assert "caller LOW == callee HIGH" in text
+
+    def test_windows_pane_shows_pressure_counters(self):
+        session = fresh_session()
+        session.seek(session.steps)
+        text = "\n".join(render_windows(session.machine))
+        assert "overflows=1" in text
+        assert "underflows=1" in text
+
+    def test_vax_windows_pane_degrades_gracefully(self):
+        session = fresh_session("qsort", "cisc")
+        text = "\n".join(render_windows(session.machine))
+        assert "no register windows" in text
+        assert "flags" in text
+
+    def test_regs_rendering_both_machines(self):
+        for name, target in (("towers", "risc1"), ("qsort", "cisc")):
+            lines = render_regs(fresh_session(name, target).machine)
+            assert any("r0" in line for line in lines)
+
+
+# -- the command language -----------------------------------------------------
+
+
+SMOKE_SCRIPT = [
+    "info",
+    "break hanoi",
+    "continue",
+    "windows",
+    "rstep 2",
+    "seek 100",
+    "where",
+    "regs",
+    "disasm . 4",
+    "mem 0x1000 32",
+    "breaks",
+    "delete 1",
+    "continue",
+    "output",
+    "quit",
+]
+
+
+class TestCommands:
+    def test_transcript_is_deterministic(self):
+        transcripts = []
+        for _ in range(2):
+            out = io.StringIO()
+            run_commands(fresh_session(), SMOKE_SCRIPT, out)
+            transcripts.append(out.getvalue())
+        assert transcripts[0] == transcripts[1]
+        assert "stopped (breakpoint" in transcripts[0]
+        assert "CWP=" in transcripts[0]
+
+    def test_unknown_command_is_reported_not_fatal(self):
+        out = io.StringIO()
+        run_commands(fresh_session(), ["bogus", "info"], out)
+        text = out.getvalue()
+        assert "error: unknown command 'bogus'" in text
+        assert "recording" in text  # info still ran
+
+    def test_command_errors(self):
+        interp = CommandInterpreter(fresh_session())
+        for line in ("seek", "step 0", "mem", "delete x", "break", "watch a b"):
+            with pytest.raises(CommandError):
+                interp.execute(line)
+
+    def test_seek_end_and_output(self):
+        interp = CommandInterpreter(fresh_session())
+        interp.execute("seek end")
+        lines = interp.execute("output")
+        assert any("31" in line for line in lines)  # towers prints 2^5 - 1
+
+    def test_comments_and_blank_lines_skipped(self):
+        out = io.StringIO()
+        run_commands(fresh_session(), ["# comment", "", "info"], out)
+        assert out.getvalue().count("(dbg)") == 1
+
+
+# -- the CLI ------------------------------------------------------------------
+
+
+class TestCli:
+    def test_run_with_script(self, tmp_path, capsys):
+        script = tmp_path / "s.dbg"
+        script.write_text("info\nbreak hanoi\ncontinue\nwindows\nquit\n")
+        code = dbg_main(
+            ["run", "towers:5", "--interval", "200", "--script", str(script)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped (breakpoint" in out
+        assert "CWP=" in out
+
+    def test_record_replay_list(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert dbg_main(["--root", root, "record", "towers:5"]) == 0
+        run_id = capsys.readouterr().out.split()[0]
+        assert dbg_main(["--root", root, "list"]) == 0
+        assert run_id in capsys.readouterr().out
+        script = tmp_path / "s.dbg"
+        script.write_text("seek 100\nwhere\nquit\n")
+        code = dbg_main(["--root", root, "replay", run_id, "--script", str(script)])
+        assert code == 0
+        assert "step 100/" in capsys.readouterr().out
+
+    def test_unknown_workload_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            dbg_main(["run", "nosuch"])
+        assert exc.value.code == 2
+
+    def test_bad_breakpoint_spec_exits_2(self, tmp_path):
+        script = tmp_path / "s.dbg"
+        script.write_text("quit\n")
+        with pytest.raises(SystemExit) as exc:
+            dbg_main(
+                [
+                    "run",
+                    "towers:5",
+                    "--break",
+                    "nosuchsym",
+                    "--script",
+                    str(script),
+                ]
+            )
+        assert exc.value.code == 2
+
+    def test_bad_interval_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            dbg_main(["run", "towers:5", "--interval", "0"])
+        assert exc.value.code == 2
+
+    def test_missing_recording_exits_1(self, tmp_path, capsys):
+        assert dbg_main(["--root", str(tmp_path), "replay", "deadbeef"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreadable_script_exits_1(self, capsys):
+        code = dbg_main(
+            ["run", "towers:5", "--interval", "500", "--script", "/nonexistent.dbg"]
+        )
+        assert code == 1
+        assert "cannot read script" in capsys.readouterr().err
+
+
+class TestRiscRunDbg:
+    PROGRAM = """\
+main:
+    add r2, r0, #0
+loop:
+    add r2, r2, #1
+    cmp r2, #10
+    jne loop
+    nop
+    puti r2
+    halt r2
+"""
+
+    def _write(self, tmp_path):
+        source = tmp_path / "prog.s"
+        source.write_text(self.PROGRAM)
+        return str(source)
+
+    def test_dbg_script_session(self, tmp_path, capsys):
+        from repro.core.cli import main as run_main
+
+        script = tmp_path / "s.dbg"
+        script.write_text("break loop\ncontinue\ncontinue\nrstep\nquit\n")
+        code = run_main([self._write(tmp_path), "--dbg", "--dbg-script", str(script)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("stopped (breakpoint") == 2
+
+    def test_step_limit_positions_at_end(self, tmp_path, capsys):
+        from repro.core.cli import main as run_main
+
+        script = tmp_path / "s.dbg"
+        script.write_text("where\nquit\n")
+        code = run_main(
+            [
+                self._write(tmp_path),
+                "--dbg",
+                "--max-instructions",
+                "20",
+                "--dbg-script",
+                str(script),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ended in limit" in captured.err
+        assert "step 20/20" in captured.out
+
+    def test_bad_breakpoint_exits_2(self, tmp_path):
+        from repro.core.cli import main as run_main
+
+        with pytest.raises(SystemExit) as exc:
+            run_main([self._write(tmp_path), "--dbg", "--break", "bogus"])
+        assert exc.value.code == 2
+
+    def test_break_without_dbg_exits_2(self, tmp_path):
+        from repro.core.cli import main as run_main
+
+        with pytest.raises(SystemExit) as exc:
+            run_main([self._write(tmp_path), "--break", "loop"])
+        assert exc.value.code == 2

@@ -433,3 +433,111 @@ def test_fuzz_corpus_stays_clean(path):
 
     report = crosscheck_source(path.read_text(encoding="utf-8"), max_steps=2_000_000)
     assert report.status == "ok", report.render()
+
+
+# -- snapshot / restore --------------------------------------------------------
+#
+# The Machine.snapshot()/restore() contract is bit-exact resumability: a
+# restored machine is indistinguishable from the original — same future
+# execution, stats, traffic counters and output — whichever engine runs it.
+# That contract is what makes checkpointed time travel (repro.dbg) sound.
+
+import json as _json
+
+
+def _partial_run(cpu, engine, budget):
+    try:
+        cpu.run(max_steps=budget, engine=engine)
+    except StepLimitExceeded:
+        pass
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_risc_roundtrip(self, name, engine):
+        program = workload_program(name, "risc1")
+        cpu = CPU()
+        cpu.load(program)
+        _partial_run(cpu, engine, 2000)
+        snap = _json.loads(_json.dumps(cpu.snapshot()))  # prove JSON-safety
+        other = CPU()
+        other.load(program)
+        other.restore(snap)
+        assert other.snapshot() == snap
+        # identical futures under the same engine, bounded budget
+        a = _outcome(lambda: cpu.run(max_steps=3000, engine=engine))
+        b = _outcome(lambda: other.run(max_steps=3000, engine=engine))
+        assert a == b
+        assert other.snapshot() == cpu.snapshot()
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_vax_roundtrip(self, name, engine):
+        program = workload_program(name, "cisc")
+        cpu = VaxCPU()
+        cpu.load(program)
+        _partial_run(cpu, engine, 2000)
+        snap = _json.loads(_json.dumps(cpu.snapshot()))
+        other = VaxCPU()
+        other.load(program)
+        other.restore(snap)
+        assert other.snapshot() == snap
+        a = _outcome(lambda: cpu.run(max_steps=3000, engine=engine))
+        b = _outcome(lambda: other.run(max_steps=3000, engine=engine))
+        assert a == b
+        assert other.snapshot() == cpu.snapshot()
+
+    @pytest.mark.parametrize("name", TRACED_WORKLOADS)
+    def test_cross_engine_resume(self, name):
+        """A fast-engine snapshot resumed on the reference engine (and the
+        reverse) must still converge to the identical final state."""
+        for target, make in (("risc1", CPU), ("cisc", VaxCPU)):
+            program = workload_program(name, target)
+            cpu = make()
+            cpu.load(program)
+            _partial_run(cpu, "fast", 1500)
+            snap = cpu.snapshot()
+            finals = {}
+            for engine in ("fast", "reference"):
+                other = make()
+                other.load(program)
+                other.restore(snap)
+                _outcome(lambda: other.run(max_steps=3000, engine=engine))
+                finals[engine] = other.snapshot()
+            assert finals["fast"] == finals["reference"]
+
+    def test_restore_rejects_mismatched_shape(self):
+        program = workload_program("towers", "risc1")
+        cpu = CPU(num_windows=8)
+        cpu.load(program)
+        snap = cpu.snapshot()
+        with pytest.raises(ValueError):
+            CPU(num_windows=4).restore(snap)
+        with pytest.raises(ValueError):
+            CPU(memory_size=1 << 16).restore(snap)
+        with pytest.raises(ValueError):
+            VaxCPU().restore(snap)
+
+    def test_restore_rejects_unknown_schema(self):
+        cpu = CPU()
+        cpu.load(workload_program("towers", "risc1"))
+        snap = cpu.snapshot()
+        snap["schema"] = 999
+        with pytest.raises(ValueError):
+            cpu.restore(snap)
+
+    def test_risc_restore_under_window_pressure(self):
+        """Snapshots taken mid-spill-pressure (2 windows) restore exactly."""
+        program = workload_program("towers", "risc1")
+        cpu = CPU(num_windows=2)
+        cpu.load(program)
+        _partial_run(cpu, "fast", 5000)
+        assert cpu.stats.to_dict()["window_overflows"] > 0
+        snap = cpu.snapshot()
+        other = CPU(num_windows=2)
+        other.load(program)
+        other.restore(snap)
+        a = _outcome(lambda: cpu.run(max_steps=5_000_000))
+        b = _outcome(lambda: other.run(max_steps=5_000_000))
+        assert a == b
